@@ -1,0 +1,97 @@
+/// \file ablation_faults.cpp
+/// The paper's §1 fault-tolerance and job-packing arguments, measured.
+///
+/// (1) Node failures: on a torus, every failed node is a hole the
+///     remaining traffic must route around — dilation and hot-link load
+///     climb with the failure count. On HFAST, a failed node's blocks
+///     return to the pool and the surviving pairs keep their dedicated
+///     trunks: route lengths are unchanged.
+/// (2) Job fragmentation: a batch system that cannot repack jobs ends up
+///     scattering a job across free nodes; on a fixed torus that inflates
+///     dilation, while HFAST simply provisions the topology to wherever
+///     the job landed.
+
+#include <iostream>
+
+#include "hfast/util/random.hpp"
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/core/provision.hpp"
+#include "hfast/topo/degraded.hpp"
+#include "hfast/topo/embedding.hpp"
+#include "hfast/topo/mesh.hpp"
+#include "hfast/util/format.hpp"
+#include "hfast/util/table.hpp"
+
+using namespace hfast;
+
+int main() {
+  const auto r = analysis::run_experiment("cactus", 64);
+  const auto& g = r.comm_graph;
+
+  // (1) Failures: a 128-node torus hosting the 64-task job; fail nodes
+  // outside the job and watch the routes degrade.
+  util::print_banner(std::cout,
+                     "Node failures on a 128-node torus (cactus, 64 tasks "
+                     "placed greedily)");
+  util::Table t({"Failed nodes", "Avg dilation", "Max dilation",
+                 "Hottest link", "HFAST max traversals"});
+  const topo::MeshTorus torus(topo::MeshTorus::balanced_dims(128, 3), true);
+  const auto prov = core::provision_greedy(g);
+  util::Rng rng(4242);
+  for (int failures : {0, 2, 8, 16, 32}) {
+    topo::DegradedTopology degraded(torus);
+    // Fail nodes spread across the machine, rerolled deterministically.
+    const auto victims = rng.sample_without_replacement(128, static_cast<std::size_t>(failures));
+    for (auto v : victims) degraded.fail_node(static_cast<int>(v));
+    // The job takes the first 64 healthy nodes (greedy placement on the
+    // degraded machine).
+    const auto healthy = degraded.healthy_nodes();
+    if (healthy.size() < 64) break;
+    const auto emb = topo::greedy_embedding(g, degraded, healthy);
+    const auto q = topo::evaluate_embedding(g, degraded, emb);
+    t.row()
+        .add(failures)
+        .add(q.avg_dilation, 2)
+        .add(q.max_dilation)
+        .add(util::bytes_label(static_cast<double>(q.max_link_load)))
+        .add(prov.stats.max_circuit_traversals);  // failure-independent
+  }
+  t.print(std::cout);
+
+  // (2) Fragmentation: the same job placed on a contiguous torus block vs
+  // scattered across it (simulating a machine fragmented by job churn).
+  util::print_banner(std::cout,
+                     "Job fragmentation on a 512-node torus (cactus, 64 "
+                     "tasks)");
+  util::Table jt({"Placement", "Avg dilation", "Max dilation",
+                  "Hottest link"});
+  const topo::MeshTorus big(topo::MeshTorus::balanced_dims(512, 3), true);
+  {
+    // Contiguous: tasks occupy a compact 4x4x4 corner.
+    const auto emb = topo::greedy_embedding(g, big);
+    const auto q = topo::evaluate_embedding(g, big, emb);
+    jt.row()
+        .add("contiguous (greedy)")
+        .add(q.avg_dilation, 2)
+        .add(q.max_dilation)
+        .add(util::bytes_label(static_cast<double>(q.max_link_load)));
+  }
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    util::Rng frag(seed);
+    const auto emb = topo::random_embedding(64, 512, frag);
+    const auto q = topo::evaluate_embedding(g, big, emb);
+    jt.row()
+        .add("fragmented (seed " + std::to_string(seed) + ")")
+        .add(q.avg_dilation, 2)
+        .add(q.max_dilation)
+        .add(util::bytes_label(static_cast<double>(q.max_link_load)));
+  }
+  jt.print(std::cout);
+  std::cout << "\nHFAST sidesteps both effects: blocks are a pool (failures "
+               "shrink it, routes\nkeep <= " << prov.stats.max_circuit_traversals
+            << " traversals) and the circuit switch wires the job's topology "
+               "to whatever\nnodes the scheduler had free — no packing, no "
+               "migration (paper 1, 2.3).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file ablation_reconfig.cpp
+/// Ablation for the runtime-reconfiguration engine (paper §2.3/§6):
+/// windowed TDC per application, circuits kept by the adaptive plan versus
+/// a static union provisioning, and the hysteresis sweep (how teardown
+/// patience trades reconfiguration count against held circuits).
+
+#include <iostream>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/core/reconfigure.hpp"
+#include "hfast/trace/window.hpp"
+#include "hfast/util/format.hpp"
+#include "hfast/util/table.hpp"
+
+using namespace hfast;
+
+int main() {
+  constexpr int kRanks = 64;
+  constexpr std::size_t kWindows = 8;
+
+  util::print_banner(std::cout, "Adaptive vs static circuits (P=64, 8 windows)");
+  util::Table t({"App", "Peak circuits", "Static circuits", "Saving",
+                 "Reconfigs", "Switch time"});
+  for (const char* app :
+       {"cactus", "gtc", "lbmhd", "superlu", "pmemd", "paratec"}) {
+    const auto r = analysis::run_experiment(app, kRanks);
+    const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+    const auto graphs = trace::windowed_graphs(steady, kWindows);
+    const auto report = core::plan_reconfigurations(graphs);
+    const double saving =
+        report.static_circuits == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(report.peak_circuits) /
+                                 static_cast<double>(report.static_circuits));
+    t.row()
+        .add(app)
+        .add(report.peak_circuits)
+        .add(report.static_circuits)
+        .add(std::to_string(static_cast<int>(saving)) + "%")
+        .add(report.total_reconfigurations)
+        .add(util::time_label(report.reconfig_time_seconds));
+  }
+  t.print(std::cout);
+
+  util::print_banner(std::cout, "Hysteresis sweep (superlu @ P=64)");
+  util::Table hs({"Hysteresis (windows)", "Reconfigs", "Peak circuits",
+                  "Total adds", "Total removes"});
+  const auto r = analysis::run_experiment("superlu", kRanks);
+  const auto graphs = trace::windowed_graphs(
+      r.trace.filter_region(apps::kSteadyRegion), kWindows);
+  for (int h : {0, 1, 2, 4, 8}) {
+    core::ReconfigParams params;
+    params.hysteresis_windows = h;
+    const auto report = core::plan_reconfigurations(graphs, params);
+    hs.row()
+        .add(h)
+        .add(report.total_reconfigurations)
+        .add(report.peak_circuits)
+        .add(report.total_added)
+        .add(report.total_removed);
+  }
+  hs.print(std::cout);
+  std::cout << "More hysteresis -> fewer millisecond-scale MEMS events at the "
+               "price of holding more circuits.\n";
+  return 0;
+}

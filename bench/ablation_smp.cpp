@@ -1,0 +1,68 @@
+/// \file ablation_smp.cpp
+/// The paper's §5 deferred question: what do SMP (multi-core) nodes do to
+/// the interconnect requirements? Tasks are packed onto nodes either
+/// naively (rank order, what a topology-blind scheduler does) or by
+/// traffic affinity (bandwidth localization); the interconnect then sees
+/// the quotient graph. Reports thresholded TDC, backplane-absorbed
+/// traffic, and the greedy HFAST block pool versus cores per node.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/core/provision.hpp"
+#include "hfast/graph/quotient.hpp"
+#include "hfast/util/format.hpp"
+#include "hfast/util/table.hpp"
+
+using namespace hfast;
+
+int main() {
+  constexpr int kRanks = 64;
+  util::print_banner(std::cout,
+                     "SMP aggregation (P=64 tasks): interconnect-visible TDC "
+                     "and HFAST blocks vs cores per node");
+  util::Table t({"App", "Cores/node", "Packing", "Nodes", "TDC@2KB (max,avg)",
+                 "Backplane traffic", "HFAST blocks"});
+  for (const char* app : {"cactus", "lbmhd", "superlu", "pmemd"}) {
+    const auto r = analysis::run_experiment(app, kRanks);
+    for (int cores : {1, 2, 4, 8}) {
+      struct Packing {
+        const char* name;
+        graph::QuotientResult q;
+      };
+      std::vector<Packing> packings;
+      packings.push_back({"rank-order", graph::quotient_by_blocks(r.comm_graph, cores)});
+      if (cores > 1) {
+        packings.push_back(
+            {"affinity", graph::quotient_by_affinity(r.comm_graph, cores)});
+      }
+      for (const auto& p : packings) {
+        const auto tdc = graph::tdc(p.q.graph, graph::kBdpCutoffBytes);
+        const auto prov = core::provision_greedy(p.q.graph);
+        std::ostringstream td;
+        td << tdc.max << ", " << std::fixed << std::setprecision(1) << tdc.avg;
+        const double frac =
+            r.comm_graph.total_bytes() == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(p.q.internal_bytes) /
+                      static_cast<double>(r.comm_graph.total_bytes());
+        t.row()
+            .add(app)
+            .add(cores)
+            .add(p.name)
+            .add(p.q.graph.num_nodes())
+            .add(td.str())
+            .add(util::percent_label(frac))
+            .add(prov.stats.num_blocks);
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nAffinity packing absorbs stencil traffic on the backplane "
+               "(cactus/lbmhd) and\nshrinks the block pool; all-to-all codes "
+               "(pmemd) keep node-level TDC = nodes-1\nregardless — SMP "
+               "aggregation does not rescue case-iv codes.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+/// \file bisection_demand.cpp
+/// Quantifies the paper's case-iv criterion directly: how much of each
+/// code's traffic is forced across the best balanced bipartition of its
+/// tasks. Full-bisection demand ~0.5 means the code genuinely exploits an
+/// FCN (PARATEC); localized codes concentrate traffic inside a good
+/// half-split, which is exactly why a provisioned HFAST fabric (or even a
+/// mesh) can carry them.
+
+#include <iostream>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/graph/bisection.hpp"
+#include "hfast/util/format.hpp"
+#include "hfast/util/table.hpp"
+
+using namespace hfast;
+
+int main() {
+  constexpr int kRanks = 64;
+  util::print_banner(std::cout,
+                     "Bisection-bandwidth demand per application (P=64, "
+                     "Kernighan-Lin balanced min-cut)");
+  util::Table t({"App", "Total traffic", "Best-cut traffic",
+                 "Bisection demand", "Case (paper 5.2)"});
+  struct Row {
+    const char* app;
+    const char* paper_case;
+  };
+  for (const Row row : {Row{"cactus", "i"}, Row{"gtc", "iii"},
+                        Row{"lbmhd", "ii"}, Row{"superlu", "iii"},
+                        Row{"pmemd", "iii"}, Row{"paratec", "iv"}}) {
+    const auto r = analysis::run_experiment(row.app, kRanks);
+    graph::BisectionParams params;
+    params.restarts = 2;
+    const auto b = graph::min_bisection(r.comm_graph, params);
+    t.row()
+        .add(row.app)
+        .add(util::bytes_label(static_cast<double>(b.total_bytes)))
+        .add(util::bytes_label(static_cast<double>(b.cut_bytes)))
+        .add(util::percent_label(100.0 * b.demand_fraction()))
+        .add(row.paper_case);
+  }
+  t.print(std::cout);
+  std::cout << "\nA uniform all-to-all pattern pins the demand near 50%; "
+               "stencil codes sit far\nbelow. High demand + high TDC is what "
+               "keeps case-iv codes on an FCN.\n";
+  return 0;
+}

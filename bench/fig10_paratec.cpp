@@ -1,0 +1,10 @@
+/// \file fig10_paratec.cpp — paper Figure 10 (PARATEC connectivity).
+#include "fig_common.hpp"
+
+int main() {
+  return hfast::benchfig::run_connectivity_figure(
+      "Figure 10", "paratec",
+      {255, 255.0,
+       "PARATEC: 3D-FFT global transposes give TDC = P-1, insensitive to "
+       "thresholding until 32 KB — needs full FCN bisection (case iv)."});
+}

@@ -1,0 +1,45 @@
+/// \file fig2_callcounts.cpp
+/// Regenerates paper Figure 2: the relative number of MPI communication
+/// calls per code (steady state, P=256). Paper reference mixes are printed
+/// alongside for comparison.
+
+#include <iostream>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/paper_tables.hpp"
+#include "hfast/util/table.hpp"
+
+using namespace hfast;
+
+namespace {
+
+const char* paper_reference(const std::string& app) {
+  if (app == "cactus")
+    return "paper: Wait 39.3%, Irecv 26.8%, Isend 26.8%, Waitall 6.5%";
+  if (app == "gtc")
+    return "paper: Gather 47.4%, Sendrecv 40.8%, Allreduce 10.9%";
+  if (app == "lbmhd")
+    return "paper: Irecv 40.0%, Isend 40.0%, Waitall 20.0%";
+  if (app == "paratec")
+    return "paper: Wait 49.6%, Isend 25.1%, Irecv 24.8%";
+  if (app == "pmemd")
+    return "paper: Waitany 36.6%, Isend 32.7%, Irecv 29.3%";
+  if (app == "superlu")
+    return "paper: Wait 30.6%, Isend 16.4%, Irecv 15.7%, Recv 15.4%, "
+           "Send 14.7%, Bcast 5.3%";
+  return "";
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRanks = 256;
+  for (const apps::App& a : apps::registry()) {
+    const auto r = analysis::run_experiment(a.info.name, kRanks);
+    util::print_banner(std::cout,
+                       "Figure 2 — " + a.info.name + " call mix (P=256)");
+    analysis::render_call_breakdown(r, 2.0).print(std::cout);
+    std::cout << paper_reference(a.info.name) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+/// \file fig5_gtc.cpp — paper Figure 5 (GTC connectivity).
+#include "fig_common.hpp"
+
+int main() {
+  return hfast::benchfig::run_connectivity_figure(
+      "Figure 5", "gtc",
+      {10, 4.0,
+       "GTC: 1D toroidal decomposition (avg TDC ~4), but plane leaders need "
+       "up to 10 partners above the threshold (17 raw) — paper case iii."});
+}

@@ -1,0 +1,10 @@
+/// \file fig6_cactus.cpp — paper Figure 6 (Cactus connectivity).
+#include "fig_common.hpp"
+
+int main() {
+  return hfast::benchfig::run_connectivity_figure(
+      "Figure 6", "cactus",
+      {6, 5.0,
+       "Cactus: 3D stencil — max 6 partners independent of P, insensitive "
+       "to thresholding, maps isomorphically to a mesh (paper case i)."});
+}

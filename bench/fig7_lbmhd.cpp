@@ -1,0 +1,10 @@
+/// \file fig7_lbmhd.cpp — paper Figure 7 (LBMHD connectivity).
+#include "fig_common.hpp"
+
+int main() {
+  return hfast::benchfig::run_connectivity_figure(
+      "Figure 7", "lbmhd",
+      {12, 11.8,
+       "LBMHD: 12 scattered interpolation partners, concurrency- and "
+       "threshold-insensitive, but not mesh-isomorphic (paper case ii)."});
+}

@@ -1,0 +1,11 @@
+/// \file fig8_superlu.cpp — paper Figure 8 (SuperLU connectivity).
+#include "fig_common.hpp"
+
+int main() {
+  return hfast::benchfig::run_connectivity_figure(
+      "Figure 8", "superlu",
+      {30, 30.0,
+       "SuperLU: raw connectivity = P (tiny pivot messages everywhere); the "
+       "2 KB threshold reduces it to 2(sqrt(P)-1) = 30 at P=256, scaling "
+       "with sqrt(P) (paper case iii)."});
+}

@@ -1,0 +1,11 @@
+/// \file fig9_pmemd.cpp — paper Figure 9 (PMEMD connectivity).
+#include "fig_common.hpp"
+
+int main() {
+  return hfast::benchfig::run_connectivity_figure(
+      "Figure 9", "pmemd",
+      {255, 55.0,
+       "PMEMD: spatial decomposition with distance-decaying volume — "
+       "thresholding drops the average to ~55 while the master keeps all "
+       "255 partners: the max/avg disparity HFAST exploits (case iii)."});
+}

@@ -1,0 +1,51 @@
+#pragma once
+/// Shared driver for the paper's per-application connectivity figures
+/// (Figures 5-10): panel (a) is the P=256 communication-volume matrix,
+/// panel (b) the max/avg TDC versus message-size cutoff for P=64 and
+/// P=256. Each fig*_ binary calls run_connectivity_figure with its app and
+/// the paper's reference numbers.
+
+#include <iostream>
+#include <string>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/paper_tables.hpp"
+#include "hfast/core/classify.hpp"
+#include "hfast/util/table.hpp"
+
+namespace hfast::benchfig {
+
+struct PaperReference {
+  int tdc_max_2kb_256;
+  double tdc_avg_2kb_256;
+  const char* commentary;
+};
+
+inline int run_connectivity_figure(const std::string& figure,
+                                   const std::string& app,
+                                   const PaperReference& ref) {
+  const auto small = analysis::run_experiment(app, 64);
+  const auto large = analysis::run_experiment(app, 256);
+
+  util::print_banner(std::cout, figure + " (a) — " + app +
+                                    " volume of communication at P=256");
+  std::cout << analysis::render_volume_heatmap(large);
+
+  util::print_banner(
+      std::cout, figure + " (b) — effect of thresholding on TDC, P=64,256");
+  std::cout << analysis::render_tdc_chart(app, small, large);
+
+  util::print_banner(std::cout, "TDC sweep, exact values (P=256)");
+  analysis::render_tdc_sweep(large).print(std::cout);
+
+  const auto t = graph::tdc(large.comm_graph, graph::kBdpCutoffBytes);
+  const auto cls = core::classify(small.comm_graph, large.comm_graph);
+  std::cout << "\nmeasured TDC@2KB P=256: max=" << t.max << " avg=" << t.avg
+            << "  |  paper: max=" << ref.tdc_max_2kb_256
+            << " avg=" << ref.tdc_avg_2kb_256 << "\n"
+            << "classification: " << core::to_string(cls.comm_case) << "\n"
+            << ref.commentary << "\n";
+  return 0;
+}
+
+}  // namespace hfast::benchfig

@@ -1,0 +1,116 @@
+/// \file perf_micro.cpp
+/// google-benchmark microbenchmarks of the core kernels: communication
+/// graph construction, TDC cutoff sweeps, both provisioners, fabric
+/// routing, the runtime's messaging path, and trace replay.
+
+#include <benchmark/benchmark.h>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/core/provision.hpp"
+#include "hfast/graph/clique.hpp"
+#include "hfast/graph/tdc.hpp"
+#include "hfast/mpisim/runtime.hpp"
+#include "hfast/netsim/replay.hpp"
+#include "hfast/topo/mesh.hpp"
+
+using namespace hfast;
+
+namespace {
+
+graph::CommGraph make_graph(int p, int partners_per_node) {
+  graph::CommGraph g(p);
+  for (int u = 0; u < p; ++u) {
+    for (int k = 1; k <= partners_per_node; ++k) {
+      const int v = (u + k) % p;
+      g.add_message(u, v, 1024ULL << (k % 8), 4);
+    }
+  }
+  return g;
+}
+
+void BM_graph_build(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_graph(p, 12));
+  }
+  state.SetItemsProcessed(state.iterations() * p * 12);
+}
+BENCHMARK(BM_graph_build)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_tdc_sweep(benchmark::State& state) {
+  const auto g = make_graph(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::tdc_sweep(g));
+  }
+}
+BENCHMARK(BM_tdc_sweep)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_provision_greedy(benchmark::State& state) {
+  const auto g = make_graph(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::provision_greedy(g));
+  }
+}
+BENCHMARK(BM_provision_greedy)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_provision_clique(benchmark::State& state) {
+  const auto g = make_graph(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::provision_clique(g));
+  }
+}
+BENCHMARK(BM_provision_clique)->Arg(64)->Arg(256);
+
+void BM_clique_cover(benchmark::State& state) {
+  const auto g = make_graph(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::greedy_edge_clique_cover(g, 15));
+  }
+}
+BENCHMARK(BM_clique_cover)->Arg(64)->Arg(256);
+
+void BM_fabric_route(benchmark::State& state) {
+  const auto g = make_graph(256, 12);
+  const auto prov = core::provision_greedy(g);
+  int u = 0;
+  for (auto _ : state) {
+    const int v = (u + 7) % 256;
+    benchmark::DoNotOptimize(prov.fabric.route(u, v == u ? (u + 1) % 256 : v));
+    u = (u + 1) % 256;
+  }
+}
+BENCHMARK(BM_fabric_route);
+
+void BM_runtime_ring(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  mpisim::Runtime rt(mpisim::RuntimeConfig{.nranks = p});
+  for (auto _ : state) {
+    rt.run([](mpisim::RankContext& ctx) {
+      const int n = ctx.nranks();
+      for (int i = 0; i < 20; ++i) {
+        (void)ctx.sendrecv((ctx.rank() + 1) % n, 4096,
+                           (ctx.rank() + n - 1) % n, 4096, i);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * p * 20);
+}
+BENCHMARK(BM_runtime_ring)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_replay_torus(benchmark::State& state) {
+  const auto r = analysis::run_experiment("cactus", 64);
+  const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+  const topo::MeshTorus torus(topo::MeshTorus::balanced_dims(64, 3), true);
+  netsim::LinkParams link;
+  for (auto _ : state) {
+    netsim::DirectNetwork net(torus, link);
+    benchmark::DoNotOptimize(netsim::replay(steady, net));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(steady.events().size()));
+}
+BENCHMARK(BM_replay_torus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/// \file profile_apps.cpp
+/// Profile the six paper applications at a chosen concurrency and print
+/// the per-app communication characteristics (the paper's §4 study in one
+/// command). Usage: profile_apps [nranks]   (default 64)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/paper_tables.hpp"
+#include "hfast/core/classify.hpp"
+#include "hfast/ipm/text_report.hpp"
+#include "hfast/mpisim/runtime.hpp"
+#include "hfast/util/table.hpp"
+
+using namespace hfast;
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 64;
+
+  std::vector<analysis::Table3Row> rows;
+  for (const apps::App& app : apps::registry()) {
+    if (!apps::valid_concurrency(app, nranks)) {
+      std::cout << app.info.name << ": skipped (P=" << nranks
+                << " unsupported)\n";
+      continue;
+    }
+    const auto result = analysis::run_experiment(app.info.name, nranks);
+    rows.push_back(analysis::table3_row(result));
+
+    const auto cls = core::classify(result.comm_graph);
+    util::print_banner(std::cout, app.info.name + " @ P=" + std::to_string(nranks));
+    analysis::render_call_breakdown(result).print(std::cout);
+    std::cout << "classification: " << core::to_string(cls.comm_case) << "\n"
+              << "  (" << cls.rationale << ")\n";
+  }
+
+  util::print_banner(std::cout, "Summary (paper Table 3 columns)");
+  analysis::render_table3(rows).print(std::cout);
+
+  // Full IPM-style banner for one representative code (gtc), run with
+  // direct access to the per-rank profiles.
+  {
+    mpisim::Runtime rt(mpisim::RuntimeConfig{.nranks = nranks});
+    std::vector<std::unique_ptr<ipm::RankProfile>> profiles;
+    for (int r = 0; r < nranks; ++r) {
+      profiles.push_back(std::make_unique<ipm::RankProfile>(r));
+    }
+    apps::AppParams params;
+    params.nranks = nranks;
+    rt.run(apps::find("gtc").program(params), [&profiles](mpisim::Rank r) {
+      return profiles[static_cast<std::size_t>(r)].get();
+    });
+    std::vector<const ipm::RankProfile*> ptrs;
+    for (const auto& p : profiles) ptrs.push_back(p.get());
+    ipm::write_text_report(std::cout, ptrs, {.job_name = "gtc"});
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "hfast/analysis/experiment.hpp"
+
+#include <vector>
+
+#include "hfast/mpisim/runtime.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::analysis {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const apps::App& app = apps::find(config.app);
+  if (!apps::valid_concurrency(app, config.nranks)) {
+    throw Error("experiment: " + config.app + " does not support P=" +
+                std::to_string(config.nranks));
+  }
+
+  mpisim::RuntimeConfig rt_cfg;
+  rt_cfg.nranks = config.nranks;
+  rt_cfg.seed = config.seed;
+  mpisim::Runtime runtime(rt_cfg);
+
+  std::vector<std::unique_ptr<ipm::RankProfile>> profiles;
+  std::vector<std::unique_ptr<trace::TraceRecorder>> recorders;
+  std::vector<std::unique_ptr<mpisim::MultiObserver>> observers;
+  profiles.reserve(static_cast<std::size_t>(config.nranks));
+  recorders.reserve(static_cast<std::size_t>(config.nranks));
+  observers.reserve(static_cast<std::size_t>(config.nranks));
+  for (int r = 0; r < config.nranks; ++r) {
+    profiles.push_back(std::make_unique<ipm::RankProfile>(r));
+    auto multi = std::make_unique<mpisim::MultiObserver>();
+    multi->attach(profiles.back().get());
+    if (config.capture_trace) {
+      recorders.push_back(std::make_unique<trace::TraceRecorder>(r));
+      multi->attach(recorders.back().get());
+    }
+    observers.push_back(std::move(multi));
+  }
+
+  apps::AppParams params;
+  params.nranks = config.nranks;
+  params.iterations = config.iterations;
+  params.seed = config.seed;
+
+  const auto run_result = runtime.run(
+      app.program(params),
+      [&observers](mpisim::Rank r) -> mpisim::CommObserver* {
+        return observers[static_cast<std::size_t>(r)].get();
+      });
+
+  ExperimentResult result;
+  result.config = config;
+  result.wall_seconds = run_result.wall_seconds;
+
+  std::vector<const ipm::RankProfile*> profile_ptrs;
+  profile_ptrs.reserve(profiles.size());
+  for (const auto& p : profiles) profile_ptrs.push_back(p.get());
+  result.steady =
+      ipm::WorkloadProfile::merge(profile_ptrs, apps::kSteadyRegion);
+  result.all_regions = ipm::WorkloadProfile::merge(profile_ptrs, "");
+  result.comm_graph = graph::CommGraph::from_profile(result.steady);
+  result.comm_graph_all = graph::CommGraph::from_profile(result.all_regions);
+
+  if (config.capture_trace) {
+    std::vector<const trace::TraceRecorder*> recorder_ptrs;
+    recorder_ptrs.reserve(recorders.size());
+    for (const auto& r : recorders) recorder_ptrs.push_back(r.get());
+    result.trace = trace::Trace::merge(recorder_ptrs);
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(std::string_view app, int nranks) {
+  ExperimentConfig cfg;
+  cfg.app = std::string(app);
+  cfg.nranks = nranks;
+  return run_experiment(cfg);
+}
+
+}  // namespace hfast::analysis

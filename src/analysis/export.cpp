@@ -1,0 +1,84 @@
+#include "hfast/analysis/export.hpp"
+
+#include <fstream>
+
+#include "hfast/graph/tdc.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::analysis {
+
+namespace {
+
+std::ofstream open_csv(const std::filesystem::path& dir,
+                       const std::string& name) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name);
+  if (!out) {
+    throw Error("export: cannot open " + (dir / name).string());
+  }
+  return out;
+}
+
+std::string tag(const ExperimentResult& r) {
+  return r.config.app + "_p" + std::to_string(r.config.nranks);
+}
+
+}  // namespace
+
+void export_table3_csv(const std::filesystem::path& dir,
+                       const std::vector<Table3Row>& rows) {
+  auto out = open_csv(dir, "table3.csv");
+  out << "code,procs,ptp_call_percent,median_ptp_buffer,"
+         "collective_call_percent,median_collective_buffer,"
+         "tdc_max_2kb,tdc_avg_2kb,fcn_utilization\n";
+  for (const Table3Row& r : rows) {
+    out << r.code << ',' << r.procs << ',' << r.ptp_call_percent << ','
+        << r.median_ptp_buffer << ',' << r.collective_call_percent << ','
+        << r.median_collective_buffer << ',' << r.tdc_max_at_cutoff << ','
+        << r.tdc_avg_at_cutoff << ',' << r.fcn_utilization << '\n';
+  }
+}
+
+void export_tdc_sweep_csv(const std::filesystem::path& dir,
+                          const ExperimentResult& result) {
+  auto out = open_csv(dir, "tdc_" + tag(result) + ".csv");
+  out << "cutoff_bytes,tdc_max,tdc_avg,tdc_median\n";
+  for (const auto& pt : graph::tdc_sweep(result.comm_graph)) {
+    out << pt.cutoff << ',' << pt.stats.max << ',' << pt.stats.avg << ','
+        << pt.stats.median << '\n';
+  }
+}
+
+void export_buffer_cdfs_csv(const std::filesystem::path& dir,
+                            const ExperimentResult& result) {
+  const auto write = [&](const util::LogHistogram& h, const std::string& kind) {
+    auto out = open_csv(dir, "buffers_" + tag(result) + "_" + kind + ".csv");
+    out << "size_bytes,count,cumulative_percent\n";
+    std::uint64_t seen = 0;
+    for (const auto& [size, count] : h.raw()) {
+      seen += count;
+      out << size << ',' << count << ','
+          << (h.total() ? 100.0 * static_cast<double>(seen) /
+                              static_cast<double>(h.total())
+                        : 0.0)
+          << '\n';
+    }
+  };
+  write(result.steady.ptp_buffers(), "ptp");
+  write(result.steady.collective_buffers(), "collective");
+}
+
+void export_volume_matrix_csv(const std::filesystem::path& dir,
+                              const ExperimentResult& result) {
+  auto out = open_csv(dir, "volume_" + tag(result) + ".csv");
+  const auto m = result.comm_graph.volume_matrix();
+  for (const auto& row : m) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace hfast::analysis

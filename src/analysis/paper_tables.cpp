@@ -1,0 +1,118 @@
+#include "hfast/analysis/paper_tables.hpp"
+
+#include <sstream>
+
+#include "hfast/util/ascii_plot.hpp"
+#include "hfast/util/format.hpp"
+
+namespace hfast::analysis {
+
+Table3Row table3_row(const ExperimentResult& result, std::uint64_t cutoff) {
+  Table3Row row;
+  row.code = result.config.app;
+  row.procs = result.config.nranks;
+  row.ptp_call_percent = result.steady.ptp_call_percent();
+  row.collective_call_percent = result.steady.collective_call_percent();
+  row.median_ptp_buffer = result.steady.ptp_buffers().empty()
+                              ? 0
+                              : result.steady.median_ptp_buffer();
+  row.median_collective_buffer = result.steady.collective_buffers().empty()
+                                     ? 0
+                                     : result.steady.median_collective_buffer();
+  const auto t = graph::tdc(result.comm_graph, cutoff);
+  row.tdc_max_at_cutoff = t.max;
+  row.tdc_avg_at_cutoff = t.avg;
+  row.fcn_utilization = graph::fcn_utilization(result.comm_graph, cutoff);
+  return row;
+}
+
+util::Table render_table3(const std::vector<Table3Row>& rows) {
+  util::Table t({"Code", "Procs", "% PTP calls", "median PTP buffer",
+                 "% Col. calls", "median Col. buffer", "TDC@2KB (max,avg)",
+                 "FCN Utilization (avg)"});
+  for (const Table3Row& r : rows) {
+    std::ostringstream tdc;
+    tdc.setf(std::ios::fixed);
+    tdc.precision(1);
+    tdc << r.tdc_max_at_cutoff << ", " << r.tdc_avg_at_cutoff;
+    t.row()
+        .add(r.code)
+        .add(r.procs)
+        .add(r.ptp_call_percent, 1)
+        .add(util::size_label(r.median_ptp_buffer))
+        .add(r.collective_call_percent, 1)
+        .add(util::size_label(r.median_collective_buffer))
+        .add(tdc.str())
+        .add(util::percent_label(100.0 * r.fcn_utilization, 0));
+  }
+  return t;
+}
+
+util::Table render_call_breakdown(const ExperimentResult& result,
+                                  double min_percent) {
+  util::Table t({"Call", "Count", "Percent"});
+  for (const auto& entry : result.steady.call_breakdown(min_percent)) {
+    const std::string name = entry.call == mpisim::CallType::kCount
+                                 ? "Other"
+                                 : std::string(mpisim::call_name(entry.call));
+    t.row().add(name).add(entry.count).add(util::percent_label(entry.percent));
+  }
+  return t;
+}
+
+util::Table render_buffer_cdf(const util::LogHistogram& sizes,
+                              const std::string& label) {
+  util::Table t({"buffer size <=", label + " % calls"});
+  for (std::uint64_t tick : {1ULL, 10ULL, 100ULL, 1024ULL, 2048ULL, 10240ULL,
+                             102400ULL, 1048576ULL, 4194304ULL}) {
+    t.row()
+        .add(util::size_label(tick))
+        .add(util::percent_label(sizes.percent_at_or_below(tick)));
+  }
+  return t;
+}
+
+std::string render_volume_heatmap(const ExperimentResult& result, int cells) {
+  std::ostringstream title;
+  title << result.config.app << " volume of communication, P="
+        << result.config.nranks << " (bytes between rank pairs)";
+  return util::heatmap(title.str(), result.comm_graph.volume_matrix(), cells);
+}
+
+std::string render_tdc_chart(const std::string& app,
+                             const ExperimentResult& small,
+                             const ExperimentResult& large) {
+  const auto cutoffs = graph::standard_cutoffs();
+  std::vector<std::string> labels;
+  labels.reserve(cutoffs.size());
+  for (auto c : cutoffs) labels.push_back(util::size_label(c));
+
+  auto series_of = [&](const ExperimentResult& r, const std::string& which) {
+    const auto sweep = graph::tdc_sweep(r.comm_graph);
+    util::Series max_series{"max " + which, {}};
+    util::Series avg_series{"avg " + which, {}};
+    for (const auto& pt : sweep) {
+      max_series.y.push_back(pt.stats.max);
+      avg_series.y.push_back(pt.stats.avg);
+    }
+    return std::pair{max_series, avg_series};
+  };
+
+  auto [max_s, avg_s] = series_of(small, std::to_string(small.config.nranks));
+  auto [max_l, avg_l] = series_of(large, std::to_string(large.config.nranks));
+  return util::line_chart(app + " concurrency with cutoff (# of partners)",
+                          labels, {max_s, avg_s, max_l, avg_l});
+}
+
+util::Table render_tdc_sweep(const ExperimentResult& result) {
+  util::Table t({"Cutoff", "max TDC", "avg TDC"});
+  for (const auto& pt : graph::tdc_sweep(result.comm_graph)) {
+    t.row()
+        .add(util::size_label(pt.cutoff))
+        .add(pt.stats.max)
+        .add(pt.stats.avg, 1);
+  }
+  return t;
+}
+
+}  // namespace hfast::analysis

@@ -1,0 +1,82 @@
+#include "hfast/apps/app.hpp"
+
+#include <vector>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::apps {
+
+/// PARATEC (paper Fig. 10): plane-wave DFT. The 3D FFTs require two global
+/// transpose stages per step, implemented (as in the production code) with
+/// nonblocking point-to-point: stage one moves ~32 KB between *every* pair
+/// of ranks, stage two moves many small 64-byte packets between band
+/// neighbors. Maximum and average TDC equal P-1 and are insensitive to
+/// thresholding until the cutoff passes 32 KB — the paper's case iv, the
+/// one class HFAST cannot serve better than an FCN.
+void run_paratec(mpisim::RankContext& ctx, const AppParams& params) {
+  using mpisim::Request;
+
+  const int p = ctx.nranks();
+  const int me = ctx.rank();
+
+  constexpr std::uint64_t kTransposeBytes = 32ULL * 1024ULL;
+  constexpr std::uint64_t kBandBytes = 64;
+  constexpr int kBandHalo = 4;       // +-4 band neighbors
+  constexpr int kBandPackets = 40;   // small packets per neighbor per step
+
+  {
+    mpisim::RankContext::Region init(ctx, kInitRegion);
+    ctx.bcast(0, 2048);  // pseudopotential tables
+    ctx.barrier();
+  }
+
+  mpisim::RankContext::Region steady(ctx, kSteadyRegion);
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    // Stage 1: global transpose — isend/irecv to every rank, each request
+    // retired individually with MPI_Wait (Figure 2: ~50% MPI_Wait).
+    {
+      std::vector<Request> reqs;
+      reqs.reserve(2 * static_cast<std::size_t>(p - 1));
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == me) continue;
+        reqs.push_back(ctx.irecv(peer, kTransposeBytes, /*tag=*/iter));
+      }
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == me) continue;
+        reqs.push_back(ctx.isend(peer, kTransposeBytes, /*tag=*/iter));
+      }
+      for (Request& r : reqs) ctx.wait(r);
+    }
+
+    // Stage 2: the second transpose only touches neighboring processor
+    // bands, with many small packets (this is what pins the median PTP
+    // buffer at 64 bytes).
+    {
+      std::vector<Request> reqs;
+      reqs.reserve(4 * kBandHalo * kBandPackets);
+      const int tag = 100000 + iter;
+      for (int d = 1; d <= kBandHalo; ++d) {
+        const int up = (me + d) % p;
+        const int dn = (me - d + p) % p;
+        for (int k = 0; k < kBandPackets; ++k) {
+          reqs.push_back(ctx.irecv(up, kBandBytes, tag));
+          reqs.push_back(ctx.irecv(dn, kBandBytes, tag));
+        }
+      }
+      for (int d = 1; d <= kBandHalo; ++d) {
+        const int up = (me + d) % p;
+        const int dn = (me - d + p) % p;
+        for (int k = 0; k < kBandPackets; ++k) {
+          reqs.push_back(ctx.isend(up, kBandBytes, tag));
+          reqs.push_back(ctx.isend(dn, kBandBytes, tag));
+        }
+      }
+      for (Request& r : reqs) ctx.wait(r);
+    }
+
+    // Subspace diagonalization residual.
+    if (iter % 2 == 1) ctx.allreduce(8);
+  }
+}
+
+}  // namespace hfast::apps

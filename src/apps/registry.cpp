@@ -1,0 +1,74 @@
+#include "hfast/apps/app.hpp"
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::apps {
+
+mpisim::RankProgram App::program(AppParams params) const {
+  if (params.iterations == 0) {
+    params.iterations = default_iterations(params.nranks);
+  }
+  auto body = run;
+  return [body, params](mpisim::RankContext& ctx) { body(ctx, params); };
+}
+
+const std::vector<App>& registry() {
+  static const std::vector<App> apps = [] {
+    std::vector<App> v;
+    v.push_back({{"cactus", 84000, "Astrophysics",
+                  "Einstein's Theory of GR via Finite Differencing", "Grid"},
+                 run_cactus,
+                 [](int) { return 8; }});
+    v.push_back({{"lbmhd", 1500, "Plasma Physics",
+                  "Magneto-Hydrodynamics via Lattice Boltzmann",
+                  "Lattice/Grid"},
+                 run_lbmhd,
+                 [](int) { return 8; }});
+    v.push_back({{"gtc", 5000, "Magnetic Fusion",
+                  "Vlasov-Poisson Equation via Particle in Cell",
+                  "Particle/Grid"},
+                 run_gtc,
+                 [](int) { return 8; }});
+    v.push_back({{"superlu", 42000, "Linear Algebra",
+                  "Sparse Solve via LU Decomposition", "Sparse Matrix"},
+                 run_superlu,
+                 // Tiny pivot notifications rotate over all peers; give the
+                 // rotation time to cover P-1 targets at 12 per iteration.
+                 [](int nranks) { return (nranks - 1 + 11) / 12 + 1; }});
+    v.push_back({{"pmemd", 37000, "Life Sciences",
+                  "Molecular Dynamics via Particle Mesh Ewald", "Particle"},
+                 run_pmemd,
+                 [](int) { return 4; }});
+    v.push_back({{"paratec", 50000, "Material Science",
+                  "Density Functional Theory via FFT", "Fourier/Grid"},
+                 run_paratec,
+                 [](int nranks) { return nranks > 128 ? 2 : 4; }});
+    return v;
+  }();
+  return apps;
+}
+
+const App& find(std::string_view name) {
+  for (const App& a : registry()) {
+    if (a.info.name == name) return a;
+  }
+  throw Error("unknown application kernel: " + std::string(name));
+}
+
+bool valid_concurrency(const App& app, int nranks) {
+  if (nranks < 4) return false;
+  if (app.info.name == "lbmhd" || app.info.name == "superlu") {
+    // Square process grids; LBMHD's distance-2 offsets need >= 5x5.
+    int r = 1;
+    while (r * r < nranks) ++r;
+    if (r * r != nranks) return false;
+    return app.info.name == "superlu" || r >= 5;
+  }
+  if (app.info.name == "gtc") {
+    // Concurrency is a multiple of the toroidal extent (64) or divides it.
+    return nranks % 64 == 0 || 64 % nranks == 0;
+  }
+  return true;
+}
+
+}  // namespace hfast::apps

@@ -1,0 +1,82 @@
+#include "hfast/core/classify.hpp"
+
+#include "hfast/graph/metrics.hpp"
+
+namespace hfast::core {
+
+std::string to_string(CommCase c) {
+  switch (c) {
+    case CommCase::kCaseI:   return "case i (regular, bounded: mesh/torus sufficient)";
+    case CommCase::kCaseII:  return "case ii (irregular, bounded: ICN/HFAST)";
+    case CommCase::kCaseIII: return "case iii (bounded avg, high/scaling max: HFAST)";
+    case CommCase::kCaseIV:  return "case iv (TDC ~ P: FCN required)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Classification classify_impl(const graph::CommGraph* small,
+                             const graph::CommGraph& large,
+                             const ClassifyParams& params) {
+  Classification out;
+  out.tdc = graph::tdc(large, params.cutoff);
+  out.fcn_utilization = graph::fcn_utilization(large, params.cutoff);
+  out.mesh_embeddable = graph::embeds_in_mesh(large, params.cutoff);
+  out.isotropic = graph::is_isotropic(large, params.cutoff);
+
+  if (small != nullptr && small->num_nodes() >= 2) {
+    const auto t_small = graph::tdc(*small, params.cutoff);
+    if (t_small.avg > 0.0) {
+      out.degree_scales_with_p =
+          out.tdc.avg / t_small.avg >= params.scaling_ratio_threshold;
+    }
+  }
+
+  if (out.fcn_utilization >= params.full_utilization_threshold) {
+    out.comm_case = CommCase::kCaseIV;
+    out.rationale = "average TDC approaches P-1: full bisection required";
+    return out;
+  }
+  if (out.tdc.avg > 0.0 &&
+      static_cast<double>(out.tdc.max) >
+          params.max_over_avg_threshold * out.tdc.avg) {
+    out.comm_case = CommCase::kCaseIII;
+    out.rationale =
+        "maximum TDC far exceeds the average: flexible packet-switch "
+        "assignment pays off";
+    return out;
+  }
+  if (out.degree_scales_with_p) {
+    out.comm_case = CommCase::kCaseIII;
+    out.rationale = "TDC grows with concurrency: fixed-degree networks "
+                    "cannot track it";
+    return out;
+  }
+  if (out.mesh_embeddable) {
+    out.comm_case = CommCase::kCaseI;
+    out.rationale = "pattern embeds isomorphically in a regular mesh/torus";
+    return out;
+  }
+  out.comm_case = CommCase::kCaseII;
+  out.rationale = "bounded degree but no mesh embedding: needs an adaptive "
+                  "topology";
+  return out;
+}
+
+}  // namespace
+
+Classification classify(const graph::CommGraph& g,
+                        const ClassifyParams& params) {
+  return classify_impl(nullptr, g, params);
+}
+
+Classification classify(const graph::CommGraph& small,
+                        const graph::CommGraph& large,
+                        const ClassifyParams& params) {
+  HFAST_EXPECTS_MSG(small.num_nodes() <= large.num_nodes(),
+                    "pass the smaller concurrency first");
+  return classify_impl(&small, large, params);
+}
+
+}  // namespace hfast::core

@@ -1,0 +1,78 @@
+#include "hfast/core/cost_model.hpp"
+
+namespace hfast::core {
+
+std::uint64_t collective_tree_ports(int nodes) {
+  HFAST_EXPECTS(nodes >= 1);
+  if (nodes == 1) return 0;
+  // P NIC links + (P-1) internal 3-port combine elements.
+  return static_cast<std::uint64_t>(nodes) +
+         3ULL * (static_cast<std::uint64_t>(nodes) - 1);
+}
+
+CostBreakdown hfast_cost(int nodes, int num_blocks, const CostParams& params) {
+  HFAST_EXPECTS(nodes >= 1 && num_blocks >= 0);
+  CostBreakdown c;
+  c.network = "HFAST";
+  c.packet_ports = static_cast<std::uint64_t>(num_blocks) *
+                   static_cast<std::uint64_t>(params.block_size);
+  c.circuit_ports = static_cast<std::uint64_t>(nodes) + c.packet_ports;
+  c.collective_ports = collective_tree_ports(nodes);
+  c.active_cost = static_cast<double>(c.packet_ports) * params.packet_port_cost;
+  c.passive_cost =
+      static_cast<double>(c.circuit_ports) * params.circuit_port_cost;
+  c.collective_cost =
+      static_cast<double>(c.collective_ports) * params.collective_port_cost;
+  return c;
+}
+
+CostBreakdown fat_tree_cost(int nodes, const CostParams& params,
+                            bool include_collective_tree) {
+  const topo::FatTree ft(nodes, params.fat_tree_radix);
+  CostBreakdown c;
+  c.network = ft.name();
+  c.packet_ports = ft.total_switch_ports();
+  c.active_cost = static_cast<double>(c.packet_ports) * params.packet_port_cost;
+  if (include_collective_tree) {
+    c.collective_ports = collective_tree_ports(nodes);
+    c.collective_cost =
+        static_cast<double>(c.collective_ports) * params.collective_port_cost;
+  }
+  return c;
+}
+
+CostBreakdown mesh_cost(int nodes, int ndims, const CostParams& params) {
+  HFAST_EXPECTS(nodes >= 1 && ndims >= 1);
+  CostBreakdown c;
+  c.network = std::to_string(ndims) + "D-mesh";
+  // Per node: 2*ndims router ports + 1 NIC port into the router.
+  c.packet_ports = static_cast<std::uint64_t>(nodes) *
+                   (2ULL * static_cast<std::uint64_t>(ndims) + 1ULL);
+  c.collective_ports = collective_tree_ports(nodes);
+  c.active_cost = static_cast<double>(c.packet_ports) * params.packet_port_cost;
+  c.collective_cost =
+      static_cast<double>(c.collective_ports) * params.collective_port_cost;
+  return c;
+}
+
+CostBreakdown icn_cost(int nodes, int k, const CostParams& params) {
+  HFAST_EXPECTS(nodes >= 1 && k >= 1);
+  CostBreakdown c;
+  c.network = "ICN(k=" + std::to_string(k) + ")";
+  const std::uint64_t blocks =
+      (static_cast<std::uint64_t>(nodes) + static_cast<std::uint64_t>(k) - 1) /
+      static_cast<std::uint64_t>(k);
+  // Each block: k host ports + k external ports on its mini-crossbar.
+  c.packet_ports = blocks * 2ULL * static_cast<std::uint64_t>(k);
+  // The external side plugs into a circuit switch with one port per link.
+  c.circuit_ports = blocks * static_cast<std::uint64_t>(k);
+  c.collective_ports = collective_tree_ports(nodes);
+  c.active_cost = static_cast<double>(c.packet_ports) * params.packet_port_cost;
+  c.passive_cost =
+      static_cast<double>(c.circuit_ports) * params.circuit_port_cost;
+  c.collective_cost =
+      static_cast<double>(c.collective_ports) * params.collective_port_cost;
+  return c;
+}
+
+}  // namespace hfast::core

@@ -1,0 +1,169 @@
+#include "hfast/core/fabric.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hfast::core {
+
+Fabric::Fabric(int num_nodes, int block_size)
+    : num_nodes_(num_nodes), block_size_(block_size) {
+  HFAST_EXPECTS(num_nodes >= 1);
+  HFAST_EXPECTS_MSG(block_size >= 3,
+                    "a useful block needs a host port and two trunk ports");
+  home_.assign(static_cast<std::size_t>(num_nodes), -1);
+}
+
+int Fabric::add_block() {
+  const int id = num_blocks();
+  blocks_.emplace_back(id, block_size_);
+  block_adj_.emplace_back();
+  return id;
+}
+
+SwitchBlock& Fabric::block(int id) {
+  HFAST_EXPECTS(id >= 0 && id < num_blocks());
+  return blocks_[static_cast<std::size_t>(id)];
+}
+
+const SwitchBlock& Fabric::block(int id) const {
+  HFAST_EXPECTS(id >= 0 && id < num_blocks());
+  return blocks_[static_cast<std::size_t>(id)];
+}
+
+void Fabric::attach_host(int node, int block_id) {
+  HFAST_EXPECTS(node >= 0 && node < num_nodes_);
+  HFAST_EXPECTS_MSG(home_[static_cast<std::size_t>(node)] == -1,
+                    "node NIC already attached");
+  block(block_id).attach_host(node);
+  home_[static_cast<std::size_t>(node)] = block_id;
+}
+
+void Fabric::connect_trunk(int block_a, int block_b) {
+  SwitchBlock& a = block(block_a);
+  SwitchBlock& b = block(block_b);
+  const int pa = a.attach_trunk({});
+  const int pb = b.attach_trunk({block_a, pa});
+  a.set_trunk_peer(pa, {block_b, pb});
+  block_adj_[static_cast<std::size_t>(block_a)].push_back(block_b);
+  block_adj_[static_cast<std::size_t>(block_b)].push_back(block_a);
+  const auto key = block_a < block_b ? std::pair{block_a, block_b}
+                                     : std::pair{block_b, block_a};
+  ++trunk_count_[key];
+}
+
+int Fabric::home_block(int node) const {
+  HFAST_EXPECTS(node >= 0 && node < num_nodes_);
+  return home_[static_cast<std::size_t>(node)];
+}
+
+FabricRoute Fabric::route(int u, int v) const {
+  HFAST_EXPECTS(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  HFAST_EXPECTS(u != v);
+  const int src = home_block(u);
+  const int dst = home_block(v);
+  if (src == -1 || dst == -1) {
+    throw Error("fabric: route endpoint has no home block");
+  }
+  if (src == dst) return FabricRoute{{src}};
+
+  std::vector<int> parent(static_cast<std::size_t>(num_blocks()), -1);
+  std::queue<int> q;
+  parent[static_cast<std::size_t>(src)] = src;
+  q.push(src);
+  while (!q.empty()) {
+    const int b = q.front();
+    q.pop();
+    if (b == dst) break;
+    auto nbrs = block_adj_[static_cast<std::size_t>(b)];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (int n : nbrs) {
+      if (parent[static_cast<std::size_t>(n)] == -1) {
+        parent[static_cast<std::size_t>(n)] = b;
+        q.push(n);
+      }
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] == -1) {
+    throw Error("fabric: no trunk path between home blocks");
+  }
+  FabricRoute r;
+  for (int b = dst; b != src; b = parent[static_cast<std::size_t>(b)]) {
+    r.blocks.push_back(b);
+  }
+  r.blocks.push_back(src);
+  std::reverse(r.blocks.begin(), r.blocks.end());
+  return r;
+}
+
+bool Fabric::reachable(int u, int v) const {
+  try {
+    (void)route(u, v);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool Fabric::serves(const graph::CommGraph& g, std::uint64_t cutoff) const {
+  for (const auto& [uv, stats] : g.edges()) {
+    if (stats.max_message < cutoff) continue;
+    if (!reachable(uv.first, uv.second)) return false;
+  }
+  return true;
+}
+
+int Fabric::trunks_between(int block_a, int block_b) const {
+  const auto key = block_a < block_b ? std::pair{block_a, block_b}
+                                     : std::pair{block_b, block_a};
+  const auto it = trunk_count_.find(key);
+  return it == trunk_count_.end() ? 0 : it->second;
+}
+
+int Fabric::total_host_ports() const {
+  int n = 0;
+  for (const auto& b : blocks_) n += b.num_host();
+  return n;
+}
+
+int Fabric::total_trunk_ports() const {
+  int n = 0;
+  for (const auto& b : blocks_) n += b.num_trunk();
+  return n;
+}
+
+int Fabric::total_free_ports() const {
+  int n = 0;
+  for (const auto& b : blocks_) n += b.num_free();
+  return n;
+}
+
+void Fabric::validate() const {
+  // Host links agree with the home table, one NIC per node.
+  std::vector<int> seen_home(static_cast<std::size_t>(num_nodes_), -1);
+  for (const auto& b : blocks_) {
+    for (int p = 0; p < b.num_ports(); ++p) {
+      const Port& port = b.port(p);
+      if (port.use == PortUse::kHost) {
+        const int node = port.host_node;
+        HFAST_ASSERT_MSG(node >= 0 && node < num_nodes_, "bad host node");
+        HFAST_ASSERT_MSG(seen_home[static_cast<std::size_t>(node)] == -1,
+                         "node hosted on two ports");
+        seen_home[static_cast<std::size_t>(node)] = b.id();
+      } else if (port.use == PortUse::kTrunk) {
+        HFAST_ASSERT_MSG(port.peer.valid(), "dangling trunk");
+        const Port& peer = block(port.peer.block).port(port.peer.port);
+        HFAST_ASSERT_MSG(peer.use == PortUse::kTrunk, "trunk peer not trunk");
+        HFAST_ASSERT_MSG((peer.peer == PortRef{b.id(), p}),
+                         "asymmetric trunk wiring");
+      }
+    }
+  }
+  for (int n = 0; n < num_nodes_; ++n) {
+    HFAST_ASSERT_MSG(seen_home[static_cast<std::size_t>(n)] ==
+                         home_[static_cast<std::size_t>(n)],
+                     "home table out of sync with block ports");
+  }
+}
+
+}  // namespace hfast::core

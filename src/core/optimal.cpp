@@ -1,0 +1,108 @@
+#include "hfast/core/optimal.hpp"
+
+#include <algorithm>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::core {
+
+namespace {
+
+/// Feasibility of one group under the single-block model.
+bool group_feasible(const graph::CommGraph& g, std::uint64_t cutoff,
+                    const std::vector<int>& block_of, int block,
+                    const std::vector<graph::Node>& members, int block_size) {
+  int ports = static_cast<int>(members.size());  // host links
+  for (graph::Node u : members) {
+    for (graph::Node v : g.partners(u, cutoff)) {
+      if (block_of[static_cast<std::size_t>(v)] != block) ++ports;
+    }
+  }
+  return ports <= block_size;
+}
+
+struct SearchState {
+  const graph::CommGraph* g;
+  std::uint64_t cutoff;
+  int block_size;
+  int n;
+  std::vector<int> block_of;           // node -> block (-1 unassigned)
+  std::vector<std::vector<graph::Node>> groups;
+  int best = 0;                        // best block count found
+  std::vector<int> best_assignment;
+};
+
+/// Restricted-growth enumeration of set partitions with branch & bound:
+/// node `u` joins an existing group or opens a new one. Port feasibility is
+/// only fully checkable once all nodes are placed (external edges can turn
+/// internal later), so prune on the optimistic bound (group count) and
+/// validate at the leaves.
+void search(SearchState& st, int u) {
+  if (static_cast<int>(st.groups.size()) >= st.best) return;  // bound
+  if (u == st.n) {
+    for (std::size_t b = 0; b < st.groups.size(); ++b) {
+      if (!group_feasible(*st.g, st.cutoff, st.block_of, static_cast<int>(b),
+                          st.groups[b], st.block_size)) {
+        return;
+      }
+    }
+    st.best = static_cast<int>(st.groups.size());
+    st.best_assignment = st.block_of;
+    return;
+  }
+  for (std::size_t b = 0; b <= st.groups.size(); ++b) {
+    if (b == st.groups.size()) {
+      st.groups.emplace_back();
+    } else if (static_cast<int>(st.groups[b].size()) >= st.block_size) {
+      continue;  // host links alone already fill the block
+    }
+    st.groups[b].push_back(u);
+    st.block_of[static_cast<std::size_t>(u)] = static_cast<int>(b);
+    search(st, u + 1);
+    st.block_of[static_cast<std::size_t>(u)] = -1;
+    st.groups[b].pop_back();
+    if (st.groups.back().empty()) st.groups.pop_back();
+  }
+}
+
+}  // namespace
+
+std::optional<OptimalProvision> optimal_blocks(const graph::CommGraph& g,
+                                               int block_size,
+                                               std::uint64_t cutoff,
+                                               int max_nodes) {
+  HFAST_EXPECTS(block_size >= 2);
+  if (g.num_nodes() > max_nodes) {
+    throw Error("optimal_blocks: graph too large for exhaustive search (" +
+                std::to_string(g.num_nodes()) + " nodes, limit " +
+                std::to_string(max_nodes) + ")");
+  }
+  // Chains required? Then the single-block model has no solution.
+  for (const int d : g.degrees(cutoff)) {
+    if (d > block_size - 1) return std::nullopt;
+  }
+
+  SearchState st;
+  st.g = &g;
+  st.cutoff = cutoff;
+  st.block_size = block_size;
+  st.n = g.num_nodes();
+  st.block_of.assign(static_cast<std::size_t>(st.n), -1);
+  st.best = st.n + 1;  // worse than all-singletons (always feasible here)
+  search(st, 0);
+  HFAST_ASSERT_MSG(st.best <= st.n, "all-singleton partition must be feasible");
+
+  OptimalProvision out;
+  out.num_blocks = st.best;
+  out.block_of_node = st.best_assignment;
+  for (const auto& [uv, stats] : g.edges()) {
+    if (stats.max_message < cutoff) continue;
+    if (out.block_of_node[static_cast<std::size_t>(uv.first)] ==
+        out.block_of_node[static_cast<std::size_t>(uv.second)]) {
+      ++out.internal_edges;
+    }
+  }
+  return out;
+}
+
+}  // namespace hfast::core

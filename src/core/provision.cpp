@@ -1,0 +1,208 @@
+#include "hfast/core/provision.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hfast/graph/clique.hpp"
+
+namespace hfast::core {
+
+namespace {
+
+/// A node-or-clique's chain of blocks. `remaining` counts trunk endpoints
+/// this chain still has to supply; the invariant maintained by
+/// choose_block() is that the active block has a free port whenever
+/// remaining >= 1.
+struct Group {
+  std::vector<int> blocks;  // chain order; blocks[0] hosts the NIC(s)
+  std::size_t active = 0;
+  int remaining = 0;
+};
+
+/// Pick (and if necessary grow) the block that supplies this group's next
+/// trunk endpoint. Returns (block id, index in chain).
+std::pair<int, int> choose_block(Fabric& fabric, Group& g) {
+  HFAST_ASSERT_MSG(g.remaining >= 1, "group has no outstanding demand");
+  int b = g.blocks[g.active];
+  const int free = fabric.block(b).num_free();
+  HFAST_ASSERT_MSG(free >= 1, "group invariant violated: active block full");
+  if (free == 1 && g.remaining > 1) {
+    // Spend the last port on a chain link so later edges have somewhere
+    // to land, then serve this edge from the new block.
+    const int nb = fabric.add_block();
+    fabric.connect_trunk(b, nb);
+    g.blocks.push_back(nb);
+    ++g.active;
+    b = nb;
+  }
+  --g.remaining;
+  return {b, static_cast<int>(g.active)};
+}
+
+struct EdgeRef {
+  int u, v;
+};
+
+ProvisionStats wire_edges(Fabric& fabric, std::vector<Group>& group_of_node,
+                          const std::vector<int>& group_index,
+                          const std::vector<EdgeRef>& edges) {
+  ProvisionStats stats;
+  double sum_traversals = 0.0;
+  double sum_hops = 0.0;
+
+  for (const EdgeRef& e : edges) {
+    const int gu = group_index[static_cast<std::size_t>(e.u)];
+    const int gv = group_index[static_cast<std::size_t>(e.v)];
+    int hops = 0;
+    if (gu == gv) {
+      // Same home block: the edge rides the block's internal crossbar.
+      ++stats.internal_edges;
+      hops = 1;
+    } else {
+      const auto [bu, iu] = choose_block(fabric, group_of_node[static_cast<std::size_t>(gu)]);
+      const auto [bv, iv] = choose_block(fabric, group_of_node[static_cast<std::size_t>(gv)]);
+      fabric.connect_trunk(bu, bv);
+      // Path: u -> chain blocks down to iu -> trunk -> chain up from iv -> v.
+      hops = (iu + 1) + (iv + 1);
+    }
+    const int traversals = hops + 1;
+    ++stats.edges_provisioned;
+    sum_hops += hops;
+    sum_traversals += traversals;
+    stats.max_switch_hops = std::max(stats.max_switch_hops, hops);
+    stats.max_circuit_traversals =
+        std::max(stats.max_circuit_traversals, traversals);
+  }
+
+  if (stats.edges_provisioned > 0) {
+    sum_hops /= stats.edges_provisioned;
+    sum_traversals /= stats.edges_provisioned;
+  }
+  stats.avg_switch_hops = sum_hops;
+  stats.avg_circuit_traversals = sum_traversals;
+  stats.num_blocks = fabric.num_blocks();
+  stats.num_trunks = fabric.total_trunk_ports() / 2;
+  return stats;
+}
+
+std::vector<EdgeRef> surviving_edges(const graph::CommGraph& g,
+                                     std::uint64_t cutoff) {
+  std::vector<EdgeRef> out;
+  for (const auto& [uv, es] : g.edges()) {
+    if (es.max_message < cutoff) continue;
+    out.push_back({uv.first, uv.second});
+  }
+  return out;
+}
+
+Provisioned provision_greedy_impl(const graph::CommGraph& g,
+                                  const ProvisionParams& params) {
+  Fabric fabric(g.num_nodes(), params.block_size);
+  const auto edges = surviving_edges(g, params.cutoff);
+
+  std::vector<int> degree(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const EdgeRef& e : edges) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+
+  // One group (initially one block) per node; chains grow on demand and end
+  // up matching greedy_blocks_for_degree (asserted in tests).
+  std::vector<Group> groups(static_cast<std::size_t>(g.num_nodes()));
+  std::vector<int> group_index(static_cast<std::size_t>(g.num_nodes()));
+  for (int n = 0; n < g.num_nodes(); ++n) {
+    const int b = fabric.add_block();
+    fabric.attach_host(n, b);
+    groups[static_cast<std::size_t>(n)].blocks = {b};
+    groups[static_cast<std::size_t>(n)].remaining =
+        degree[static_cast<std::size_t>(n)];
+    group_index[static_cast<std::size_t>(n)] = n;
+  }
+
+  ProvisionStats stats = wire_edges(fabric, groups, group_index, edges);
+  return Provisioned{std::move(fabric), stats};
+}
+
+Provisioned provision_clique_impl(const graph::CommGraph& g,
+                                  const ProvisionParams& params) {
+  Fabric fabric(g.num_nodes(), params.block_size);
+  const auto tg = g.thresholded(params.cutoff);
+  const std::size_t max_clique =
+      params.max_clique > 0
+          ? std::min<std::size_t>(params.max_clique,
+                                  static_cast<std::size_t>(params.block_size - 1))
+          : static_cast<std::size_t>(params.block_size - 1);
+
+  auto cover = graph::greedy_edge_clique_cover(tg, max_clique);
+  std::sort(cover.begin(), cover.end(),
+            [](const graph::Clique& a, const graph::Clique& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              return a.members < b.members;  // deterministic tie-break
+            });
+
+  // Home assignment: biggest cliques first; members not yet homed share the
+  // clique's block.
+  std::vector<int> group_index(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<Group> groups;
+  for (const graph::Clique& c : cover) {
+    std::vector<int> unhomed;
+    for (int n : c.members) {
+      if (group_index[static_cast<std::size_t>(n)] == -1) unhomed.push_back(n);
+    }
+    if (unhomed.empty()) continue;
+    const int b = fabric.add_block();
+    const int gi = static_cast<int>(groups.size());
+    groups.push_back(Group{{b}, 0, 0});
+    for (int n : unhomed) {
+      fabric.attach_host(n, b);
+      group_index[static_cast<std::size_t>(n)] = gi;
+    }
+  }
+  // Isolated nodes (no surviving edges) still get connectivity.
+  for (int n = 0; n < g.num_nodes(); ++n) {
+    if (group_index[static_cast<std::size_t>(n)] != -1) continue;
+    const int b = fabric.add_block();
+    const int gi = static_cast<int>(groups.size());
+    groups.push_back(Group{{b}, 0, 0});
+    fabric.attach_host(n, b);
+    group_index[static_cast<std::size_t>(n)] = gi;
+  }
+
+  const auto edges = surviving_edges(g, params.cutoff);
+  for (const EdgeRef& e : edges) {
+    const int gu = group_index[static_cast<std::size_t>(e.u)];
+    const int gv = group_index[static_cast<std::size_t>(e.v)];
+    if (gu != gv) {
+      ++groups[static_cast<std::size_t>(gu)].remaining;
+      ++groups[static_cast<std::size_t>(gv)].remaining;
+    }
+  }
+
+  ProvisionStats stats = wire_edges(fabric, groups, group_index, edges);
+  return Provisioned{std::move(fabric), stats};
+}
+
+}  // namespace
+
+int greedy_blocks_for_degree(int degree, int block_size) {
+  HFAST_EXPECTS(degree >= 0 && block_size >= 3);
+  if (degree <= block_size - 1) return 1;
+  const int usable = block_size - 2;  // per extra block in a chain
+  return (degree - 1 + usable - 1) / usable;
+}
+
+Provisioned provision(const graph::CommGraph& g, const ProvisionParams& params,
+                      ProvisionStrategy strategy) {
+  HFAST_EXPECTS(params.block_size >= 4);
+  switch (strategy) {
+    case ProvisionStrategy::kGreedyPerNode:
+      return provision_greedy_impl(g, params);
+    case ProvisionStrategy::kCliqueShared:
+      return provision_clique_impl(g, params);
+  }
+  throw ContractViolation("unknown provisioning strategy");
+}
+
+}  // namespace hfast::core

@@ -1,0 +1,67 @@
+#include "hfast/core/reconfigure.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::core {
+
+ReconfigReport plan_reconfigurations(
+    const std::vector<graph::CommGraph>& windows, const ReconfigParams& params) {
+  HFAST_EXPECTS(params.hysteresis_windows >= 0);
+  ReconfigReport report;
+
+  using Edge = std::pair<int, int>;
+  std::map<Edge, std::size_t> last_used;  // edge -> last window with traffic
+  std::set<Edge> active;
+  std::set<Edge> union_edges;
+
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    // Circuits demanded by this window.
+    std::set<Edge> demanded;
+    for (const auto& [uv, stats] : windows[w].edges()) {
+      if (stats.max_message < params.cutoff) continue;
+      demanded.insert(uv);
+      last_used[uv] = w;
+      union_edges.insert(uv);
+    }
+
+    WindowDelta delta;
+    delta.window = w;
+
+    for (const Edge& e : demanded) {
+      if (active.insert(e).second) ++delta.circuits_added;
+    }
+    // Tear down circuits idle beyond the hysteresis horizon.
+    for (auto it = active.begin(); it != active.end();) {
+      const auto used_it = last_used.find(*it);
+      HFAST_ASSERT(used_it != last_used.end());
+      if (w >= used_it->second + static_cast<std::size_t>(
+                                     params.hysteresis_windows) + 1) {
+        it = active.erase(it);
+        ++delta.circuits_removed;
+      } else {
+        ++it;
+      }
+    }
+
+    delta.circuits_active = static_cast<int>(active.size());
+    delta.reconfigured = delta.circuits_added > 0 || delta.circuits_removed > 0;
+    // The initial window's patching is setup, not a runtime reconfiguration.
+    if (w == 0) delta.reconfigured = false;
+
+    report.total_added += delta.circuits_added;
+    report.total_removed += delta.circuits_removed;
+    if (delta.reconfigured) ++report.total_reconfigurations;
+    report.peak_circuits = std::max(report.peak_circuits, delta.circuits_active);
+    report.deltas.push_back(delta);
+  }
+
+  report.reconfig_time_seconds =
+      params.reconfig_seconds * report.total_reconfigurations;
+  report.static_circuits = static_cast<int>(union_edges.size());
+  return report;
+}
+
+}  // namespace hfast::core

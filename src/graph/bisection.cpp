@@ -1,0 +1,138 @@
+#include "hfast/graph/bisection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hfast/util/random.hpp"
+
+namespace hfast::graph {
+
+namespace {
+
+std::uint64_t cut_bytes(const CommGraph& g, const std::vector<bool>& side) {
+  std::uint64_t cut = 0;
+  for (const auto& [uv, stats] : g.edges()) {
+    if (side[static_cast<std::size_t>(uv.first)] !=
+        side[static_cast<std::size_t>(uv.second)]) {
+      cut += stats.bytes;
+    }
+  }
+  return cut;
+}
+
+/// Signed traffic between node u and partition side `to` minus its own side
+/// — the classic KL "D" value expressed in bytes. Positive means moving u
+/// would reduce the cut.
+std::int64_t gain_of(const CommGraph& g, const std::vector<bool>& side,
+                     Node u) {
+  std::int64_t external = 0, internal = 0;
+  for (Node v : g.partners(u)) {
+    const auto* e = g.edge(u, v);
+    if (side[static_cast<std::size_t>(u)] != side[static_cast<std::size_t>(v)]) {
+      external += static_cast<std::int64_t>(e->bytes);
+    } else {
+      internal += static_cast<std::int64_t>(e->bytes);
+    }
+  }
+  return external - internal;
+}
+
+/// One Kernighan-Lin pass: greedily swap the best (a in A, b in B) pair,
+/// lock them, repeat; keep the best prefix of swaps. Returns true if the
+/// cut improved.
+bool kl_pass(const CommGraph& g, std::vector<bool>& side) {
+  const int n = g.num_nodes();
+  std::vector<bool> locked(static_cast<std::size_t>(n), false);
+  std::vector<std::pair<Node, Node>> swaps;
+  std::vector<std::int64_t> cumulative;
+  std::vector<bool> work = side;
+
+  const int pairs = n / 2;
+  std::int64_t running = 0;
+  for (int step = 0; step < pairs; ++step) {
+    Node best_a = -1, best_b = -1;
+    std::int64_t best_gain = 0;
+    bool found = false;
+    for (Node a = 0; a < n; ++a) {
+      if (locked[static_cast<std::size_t>(a)] || work[static_cast<std::size_t>(a)]) continue;
+      for (Node b = 0; b < n; ++b) {
+        if (locked[static_cast<std::size_t>(b)] || !work[static_cast<std::size_t>(b)]) continue;
+        std::int64_t gain = gain_of(g, work, a) + gain_of(g, work, b);
+        if (const auto* e = g.edge(a, b)) {
+          gain -= 2 * static_cast<std::int64_t>(e->bytes);
+        }
+        if (!found || gain > best_gain) {
+          best_a = a;
+          best_b = b;
+          best_gain = gain;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    work[static_cast<std::size_t>(best_a)] = true;
+    work[static_cast<std::size_t>(best_b)] = false;
+    locked[static_cast<std::size_t>(best_a)] = true;
+    locked[static_cast<std::size_t>(best_b)] = true;
+    running += best_gain;
+    swaps.push_back({best_a, best_b});
+    cumulative.push_back(running);
+  }
+
+  // Best prefix of swaps.
+  std::int64_t best = 0;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < cumulative.size(); ++k) {
+    if (cumulative[k] > best) {
+      best = cumulative[k];
+      best_k = k + 1;
+    }
+  }
+  if (best <= 0) return false;
+  for (std::size_t k = 0; k < best_k; ++k) {
+    side[static_cast<std::size_t>(swaps[k].first)] = true;
+    side[static_cast<std::size_t>(swaps[k].second)] = false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BisectionResult min_bisection(const CommGraph& g,
+                              const BisectionParams& params) {
+  HFAST_EXPECTS(params.restarts >= 1);
+  const int n = g.num_nodes();
+  BisectionResult best;
+  best.total_bytes = g.total_bytes();
+  if (n < 2) {
+    best.side.assign(static_cast<std::size_t>(n), false);
+    return best;
+  }
+
+  util::Rng rng(params.seed);
+  bool have_best = false;
+  for (int r = 0; r < params.restarts; ++r) {
+    // Balanced start: first half/second half for r=0, random otherwise.
+    std::vector<Node> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    if (r > 0) rng.shuffle(order);
+    std::vector<bool> side(static_cast<std::size_t>(n), false);
+    for (int i = n / 2; i < n; ++i) {
+      side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = true;
+    }
+
+    for (int pass = 0; pass < 8; ++pass) {
+      if (!kl_pass(g, side)) break;
+    }
+
+    const std::uint64_t cut = cut_bytes(g, side);
+    if (!have_best || cut < best.cut_bytes) {
+      best.cut_bytes = cut;
+      best.side = side;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace hfast::graph

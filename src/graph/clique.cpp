@@ -1,0 +1,92 @@
+#include "hfast/graph/clique.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hfast::graph {
+
+namespace {
+
+bool adjacent(const CommGraph& g, Node u, Node v) {
+  return g.edge(u, v) != nullptr;
+}
+
+}  // namespace
+
+std::vector<Clique> greedy_edge_clique_cover(const CommGraph& g,
+                                             std::size_t max_size) {
+  HFAST_EXPECTS(max_size >= 2);
+  std::set<std::pair<Node, Node>> uncovered;
+  for (const auto& [uv, stats] : g.edges()) {
+    (void)stats;
+    uncovered.insert(uv);
+  }
+
+  std::vector<Clique> cover;
+  while (!uncovered.empty()) {
+    const auto [u, v] = *uncovered.begin();
+    std::vector<Node> members{u, v};
+
+    // Candidate extension set: vertices adjacent to every current member.
+    std::vector<Node> candidates;
+    for (Node w : g.partners(u)) {
+      if (w != v && adjacent(g, w, v)) candidates.push_back(w);
+    }
+
+    while (members.size() < max_size && !candidates.empty()) {
+      // Pick the candidate covering the most still-uncovered edges into the
+      // clique; ties broken by smallest id for determinism.
+      Node best = -1;
+      std::size_t best_gain = 0;
+      for (Node w : candidates) {
+        std::size_t gain = 0;
+        for (Node m : members) {
+          auto key = m < w ? std::pair{m, w} : std::pair{w, m};
+          if (uncovered.count(key) != 0) ++gain;
+        }
+        if (best == -1 || gain > best_gain || (gain == best_gain && w < best)) {
+          best = w;
+          best_gain = gain;
+        }
+      }
+      if (best == -1 || best_gain == 0) break;  // no productive extension
+      members.push_back(best);
+      std::vector<Node> next;
+      for (Node w : candidates) {
+        if (w != best && adjacent(g, w, best)) next.push_back(w);
+      }
+      candidates = std::move(next);
+    }
+
+    std::sort(members.begin(), members.end());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        uncovered.erase({members[i], members[j]});
+      }
+    }
+    cover.push_back(Clique{std::move(members)});
+  }
+  return cover;
+}
+
+bool is_valid_clique_cover(const CommGraph& g,
+                           const std::vector<Clique>& cover) {
+  std::set<std::pair<Node, Node>> covered;
+  for (const Clique& c : cover) {
+    for (std::size_t i = 0; i < c.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < c.members.size(); ++j) {
+        const Node u = c.members[i];
+        const Node v = c.members[j];
+        if (!adjacent(g, u, v)) return false;  // not actually a clique
+        covered.insert(u < v ? std::pair{u, v} : std::pair{v, u});
+      }
+    }
+  }
+  for (const auto& [uv, stats] : g.edges()) {
+    (void)stats;
+    if (covered.count(uv) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace hfast::graph

@@ -1,0 +1,95 @@
+#include "hfast/graph/comm_graph.hpp"
+
+#include <algorithm>
+
+namespace hfast::graph {
+
+CommGraph::CommGraph(int num_nodes) : n_(num_nodes) {
+  HFAST_EXPECTS(num_nodes >= 0);
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void CommGraph::add_message(Node u, Node v, std::uint64_t bytes,
+                            std::uint64_t count) {
+  HFAST_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_);
+  HFAST_EXPECTS_MSG(u != v, "self-messages do not use the interconnect");
+  auto [it, inserted] = edges_.try_emplace(key(u, v));
+  it->second.add(bytes, count);
+  if (inserted) {
+    adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  }
+}
+
+CommGraph CommGraph::from_profile(const ipm::WorkloadProfile& profile) {
+  CommGraph g(profile.nranks());
+  const auto& sent = profile.sent();
+  for (int r = 0; r < profile.nranks(); ++r) {
+    for (const auto& [peer_bytes, count] : sent[static_cast<std::size_t>(r)]) {
+      const auto [peer, bytes] = peer_bytes;
+      if (peer == r) continue;  // self traffic stays on-node
+      g.add_message(r, peer, bytes, count);
+    }
+  }
+  return g;
+}
+
+const EdgeStats* CommGraph::edge(Node u, Node v) const {
+  const auto it = edges_.find(key(u, v));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+std::vector<Node> CommGraph::partners(Node u, std::uint64_t cutoff) const {
+  HFAST_EXPECTS(u >= 0 && u < n_);
+  std::vector<Node> out;
+  for (Node v : adjacency_[static_cast<std::size_t>(u)]) {
+    const EdgeStats* e = edge(u, v);
+    HFAST_ASSERT(e != nullptr);
+    if (e->max_message >= cutoff) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> CommGraph::degrees(std::uint64_t cutoff) const {
+  std::vector<int> deg(static_cast<std::size_t>(n_), 0);
+  for (const auto& [uv, stats] : edges_) {
+    if (stats.max_message < cutoff) continue;
+    ++deg[static_cast<std::size_t>(uv.first)];
+    ++deg[static_cast<std::size_t>(uv.second)];
+  }
+  return deg;
+}
+
+std::vector<std::vector<double>> CommGraph::volume_matrix() const {
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(n_),
+      std::vector<double>(static_cast<std::size_t>(n_), 0.0));
+  for (const auto& [uv, stats] : edges_) {
+    const auto i = static_cast<std::size_t>(uv.first);
+    const auto j = static_cast<std::size_t>(uv.second);
+    m[i][j] = m[j][i] = static_cast<double>(stats.bytes);
+  }
+  return m;
+}
+
+CommGraph CommGraph::thresholded(std::uint64_t cutoff) const {
+  CommGraph g(n_);
+  for (const auto& [uv, stats] : edges_) {
+    if (stats.max_message < cutoff) continue;
+    auto [it, inserted] = g.edges_.try_emplace(uv, stats);
+    (void)it;
+    HFAST_ASSERT(inserted);
+    g.adjacency_[static_cast<std::size_t>(uv.first)].push_back(uv.second);
+    g.adjacency_[static_cast<std::size_t>(uv.second)].push_back(uv.first);
+  }
+  return g;
+}
+
+std::uint64_t CommGraph::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& [uv, stats] : edges_) sum += stats.bytes;
+  return sum;
+}
+
+}  // namespace hfast::graph

@@ -1,0 +1,84 @@
+#include "hfast/graph/contraction.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hfast::graph {
+
+namespace {
+
+/// External degree of a block: distinct nodes outside `block` adjacent
+/// (under the cutoff) to any member.
+int external_degree(const CommGraph& g, const std::vector<Node>& block,
+                    const std::vector<int>& block_of, int block_id,
+                    std::uint64_t cutoff) {
+  std::set<Node> outside;
+  for (Node u : block) {
+    for (Node v : g.partners(u, cutoff)) {
+      if (block_of[static_cast<std::size_t>(v)] != block_id) outside.insert(v);
+    }
+  }
+  return static_cast<int>(outside.size());
+}
+
+}  // namespace
+
+ContractionResult bounded_contraction(const CommGraph& g, int k,
+                                      std::uint64_t cutoff) {
+  HFAST_EXPECTS(k >= 1);
+  const int n = g.num_nodes();
+  ContractionResult res;
+  res.block_of.assign(static_cast<std::size_t>(n), -1);
+
+  int next_block = 0;
+  for (Node seed = 0; seed < n; ++seed) {
+    if (res.block_of[static_cast<std::size_t>(seed)] != -1) continue;
+    const int id = next_block++;
+    std::vector<Node> block{seed};
+    res.block_of[static_cast<std::size_t>(seed)] = id;
+
+    while (static_cast<int>(block.size()) < k) {
+      // Frontier: unassigned neighbors of the block.
+      std::set<Node> frontier;
+      for (Node u : block) {
+        for (Node v : g.partners(u, cutoff)) {
+          if (res.block_of[static_cast<std::size_t>(v)] == -1) {
+            frontier.insert(v);
+          }
+        }
+      }
+      if (frontier.empty()) break;
+      // Greedy: absorb the frontier node that minimizes external degree.
+      Node best = -1;
+      int best_ext = 0;
+      for (Node v : frontier) {
+        block.push_back(v);
+        res.block_of[static_cast<std::size_t>(v)] = id;
+        const int ext = external_degree(g, block, res.block_of, id, cutoff);
+        block.pop_back();
+        res.block_of[static_cast<std::size_t>(v)] = -1;
+        if (best == -1 || ext < best_ext || (ext == best_ext && v < best)) {
+          best = v;
+          best_ext = ext;
+        }
+      }
+      block.push_back(best);
+      res.block_of[static_cast<std::size_t>(best)] = id;
+    }
+  }
+
+  res.num_blocks = next_block;
+  for (int b = 0; b < next_block; ++b) {
+    std::vector<Node> block;
+    for (Node u = 0; u < n; ++u) {
+      if (res.block_of[static_cast<std::size_t>(u)] == b) block.push_back(u);
+    }
+    res.worst_external_degree =
+        std::max(res.worst_external_degree,
+                 external_degree(g, block, res.block_of, b, cutoff));
+  }
+  res.feasible = res.worst_external_degree <= k;
+  return res;
+}
+
+}  // namespace hfast::graph

@@ -1,0 +1,167 @@
+#include "hfast/graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace hfast::graph {
+
+namespace {
+
+/// Fraction of nodes sharing the most common partner-offset signature under
+/// a given grid labeling (offsets taken componentwise modulo the grid).
+double signature_agreement(const CommGraph& g, std::uint64_t cutoff,
+                           const std::vector<int>& dims) {
+  const int n = g.num_nodes();
+  auto coords = [&](Node r) {
+    std::vector<int> c(dims.size());
+    for (std::size_t d = dims.size(); d-- > 0;) {
+      c[d] = r % dims[d];
+      r /= dims[d];
+    }
+    return c;
+  };
+  std::map<std::multiset<std::vector<int>>, int> signature_counts;
+  for (Node u = 0; u < n; ++u) {
+    const auto cu = coords(u);
+    std::multiset<std::vector<int>> sig;
+    for (Node v : g.partners(u, cutoff)) {
+      const auto cv = coords(v);
+      std::vector<int> offset(dims.size());
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        offset[d] = ((cv[d] - cu[d]) % dims[d] + dims[d]) % dims[d];
+      }
+      sig.insert(std::move(offset));
+    }
+    ++signature_counts[sig];
+  }
+  int most_common = 0;
+  for (const auto& [sig, count] : signature_counts) {
+    most_common = std::max(most_common, count);
+  }
+  return static_cast<double>(most_common) / static_cast<double>(n);
+}
+
+}  // namespace
+
+bool is_isotropic(const CommGraph& g, std::uint64_t cutoff, double tolerance) {
+  const int n = g.num_nodes();
+  if (n <= 2) return true;
+  // A pattern is isotropic if under *some* grid labeling (1-3 dims) the
+  // partner-offset multiset is (near-)translation-invariant. Trying every
+  // factorization covers ring, torus, and process-grid decompositions.
+  for (const auto& dims : grid_factorizations(n)) {
+    if (signature_agreement(g, cutoff, dims) >= 1.0 - tolerance) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> grid_factorizations(int p, int max_dims) {
+  HFAST_EXPECTS(p >= 1 && max_dims >= 1 && max_dims <= 3);
+  std::vector<std::vector<int>> out;
+  out.push_back({p});
+  if (max_dims >= 2) {
+    for (int a = 2; a * a <= p; ++a) {
+      if (p % a != 0) continue;
+      out.push_back({a, p / a});
+      if (a != p / a) out.push_back({p / a, a});
+    }
+  }
+  if (max_dims >= 3) {
+    for (int a = 2; a <= p; ++a) {
+      if (p % a != 0) continue;
+      const int rest = p / a;
+      for (int b = 2; b <= rest; ++b) {
+        if (rest % b != 0) continue;
+        const int c = rest / b;
+        if (c < 2) continue;
+        out.push_back({a, b, c});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Check every (cutoff-surviving) edge is a unit step in one dimension of
+/// the given grid under lexicographic rank labeling.
+bool edges_fit_grid(const CommGraph& g, std::uint64_t cutoff,
+                    const std::vector<int>& dims, bool torus) {
+  const int n = g.num_nodes();
+  auto coords = [&](Node r) {
+    std::vector<int> c(dims.size());
+    for (std::size_t d = dims.size(); d-- > 0;) {
+      c[d] = r % dims[d];
+      r /= dims[d];
+    }
+    return c;
+  };
+  for (const auto& [uv, stats] : g.edges()) {
+    if (stats.max_message < cutoff) continue;
+    const auto cu = coords(uv.first);
+    const auto cv = coords(uv.second);
+    int diff_dims = 0;
+    bool unit = true;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      if (cu[d] == cv[d]) continue;
+      ++diff_dims;
+      int delta = std::abs(cu[d] - cv[d]);
+      if (torus) delta = std::min(delta, dims[d] - delta);
+      if (delta != 1) unit = false;
+    }
+    if (diff_dims != 1 || !unit) return false;
+  }
+  (void)n;
+  return true;
+}
+
+}  // namespace
+
+bool embeds_in_mesh(const CommGraph& g, std::uint64_t cutoff,
+                    bool torus_wraparound) {
+  if (g.num_nodes() <= 1) return true;
+  for (const auto& dims : grid_factorizations(g.num_nodes())) {
+    if (edges_fit_grid(g, cutoff, dims, torus_wraparound)) return true;
+  }
+  return false;
+}
+
+int connected_components(const CommGraph& g, std::uint64_t cutoff) {
+  const int n = g.num_nodes();
+  std::vector<int> component(static_cast<std::size_t>(n), -1);
+  int count = 0;
+  for (Node seed = 0; seed < n; ++seed) {
+    if (component[static_cast<std::size_t>(seed)] != -1) continue;
+    ++count;
+    std::vector<Node> stack{seed};
+    component[static_cast<std::size_t>(seed)] = count;
+    while (!stack.empty()) {
+      const Node u = stack.back();
+      stack.pop_back();
+      for (Node v : g.partners(u, cutoff)) {
+        if (component[static_cast<std::size_t>(v)] == -1) {
+          component[static_cast<std::size_t>(v)] = count;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+double degree_cv(const CommGraph& g, std::uint64_t cutoff) {
+  const auto deg = g.degrees(cutoff);
+  if (deg.empty()) return 0.0;
+  double sum = 0.0;
+  for (int d : deg) sum += d;
+  const double mean = sum / static_cast<double>(deg.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (int d : deg) var += (d - mean) * (d - mean);
+  var /= static_cast<double>(deg.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace hfast::graph

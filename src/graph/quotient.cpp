@@ -1,0 +1,131 @@
+#include "hfast/graph/quotient.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::graph {
+
+QuotientResult quotient_graph(const CommGraph& g,
+                              const std::vector<int>& node_of_task,
+                              int num_nodes) {
+  HFAST_EXPECTS(node_of_task.size() == static_cast<std::size_t>(g.num_nodes()));
+  HFAST_EXPECTS(num_nodes >= 1);
+  for (int n : node_of_task) {
+    HFAST_EXPECTS_MSG(n >= 0 && n < num_nodes, "task mapped outside nodes");
+  }
+
+  QuotientResult out{CommGraph(num_nodes), node_of_task, 0};
+  for (const auto& [uv, stats] : g.edges()) {
+    const int a = node_of_task[static_cast<std::size_t>(uv.first)];
+    const int b = node_of_task[static_cast<std::size_t>(uv.second)];
+    if (a == b) {
+      out.internal_bytes += stats.bytes;
+      continue;
+    }
+    // Preserve the thresholding semantics: the quotient edge's max message
+    // is the max over contributing task pairs; counts and bytes accumulate.
+    out.graph.add_message(a, b, stats.max_message, 1);
+    if (stats.messages > 1) {
+      const std::uint64_t rest_msgs = stats.messages - 1;
+      const std::uint64_t rest_bytes = stats.bytes - stats.max_message;
+      if (rest_msgs > 0 && rest_bytes > 0) {
+        // Spread the remaining volume at the average size.
+        out.graph.add_message(a, b, rest_bytes / rest_msgs, rest_msgs);
+      }
+    }
+  }
+  return out;
+}
+
+QuotientResult quotient_by_blocks(const CommGraph& g, int tasks_per_node) {
+  HFAST_EXPECTS(tasks_per_node >= 1);
+  const int nodes =
+      (g.num_nodes() + tasks_per_node - 1) / tasks_per_node;
+  std::vector<int> map(static_cast<std::size_t>(g.num_nodes()));
+  for (int t = 0; t < g.num_nodes(); ++t) {
+    map[static_cast<std::size_t>(t)] = t / tasks_per_node;
+  }
+  return quotient_graph(g, map, nodes);
+}
+
+QuotientResult quotient_by_affinity(const CommGraph& g, int tasks_per_node) {
+  HFAST_EXPECTS(tasks_per_node >= 1);
+  const int n = g.num_nodes();
+  const int nodes = (n + tasks_per_node - 1) / tasks_per_node;
+
+  // Union-find over tasks, capacity-limited heavy-edge merging.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<int> size(static_cast<std::size_t>(n), 1);
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  // Edges heaviest-first; deterministic tie-break on ids.
+  std::vector<std::pair<std::pair<Node, Node>, std::uint64_t>> edges;
+  edges.reserve(g.num_edges());
+  for (const auto& [uv, stats] : g.edges()) edges.push_back({uv, stats.bytes});
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  int groups = n;
+  for (const auto& [uv, bytes] : edges) {
+    (void)bytes;
+    if (groups <= nodes) break;
+    const int ra = find(uv.first);
+    const int rb = find(uv.second);
+    if (ra == rb) continue;
+    if (size[static_cast<std::size_t>(ra)] + size[static_cast<std::size_t>(rb)] >
+        tasks_per_node) {
+      continue;
+    }
+    parent[static_cast<std::size_t>(rb)] = ra;
+    size[static_cast<std::size_t>(ra)] += size[static_cast<std::size_t>(rb)];
+    --groups;
+  }
+
+  // Pack groups into nodes: large groups first, first-fit by capacity.
+  std::vector<int> roots;
+  for (int t = 0; t < n; ++t) {
+    if (find(t) == t) roots.push_back(t);
+  }
+  std::sort(roots.begin(), roots.end(), [&](int a, int b) {
+    if (size[static_cast<std::size_t>(a)] != size[static_cast<std::size_t>(b)]) {
+      return size[static_cast<std::size_t>(a)] > size[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+  std::vector<int> node_of_root(static_cast<std::size_t>(n), -1);
+  std::vector<int> capacity(static_cast<std::size_t>(nodes), tasks_per_node);
+  for (int r : roots) {
+    for (int nd = 0; nd < nodes; ++nd) {
+      if (capacity[static_cast<std::size_t>(nd)] >=
+          size[static_cast<std::size_t>(r)]) {
+        node_of_root[static_cast<std::size_t>(r)] = nd;
+        capacity[static_cast<std::size_t>(nd)] -=
+            size[static_cast<std::size_t>(r)];
+        break;
+      }
+    }
+    HFAST_ASSERT_MSG(node_of_root[static_cast<std::size_t>(r)] != -1,
+                     "first-fit packing failed");
+  }
+
+  std::vector<int> map(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    map[static_cast<std::size_t>(t)] =
+        node_of_root[static_cast<std::size_t>(find(t))];
+  }
+  return quotient_graph(g, map, nodes);
+}
+
+}  // namespace hfast::graph

@@ -1,0 +1,49 @@
+#include "hfast/graph/tdc.hpp"
+
+#include <algorithm>
+
+namespace hfast::graph {
+
+TdcStats tdc(const CommGraph& g, std::uint64_t cutoff) {
+  std::vector<int> deg = g.degrees(cutoff);
+  TdcStats out;
+  if (deg.empty()) return out;
+  double sum = 0.0;
+  out.min = deg[0];
+  for (int d : deg) {
+    out.max = std::max(out.max, d);
+    out.min = std::min(out.min, d);
+    sum += d;
+  }
+  out.avg = sum / static_cast<double>(deg.size());
+  std::nth_element(deg.begin(), deg.begin() + deg.size() / 2, deg.end());
+  out.median = deg[deg.size() / 2];
+  return out;
+}
+
+std::vector<std::uint64_t> standard_cutoffs() {
+  std::vector<std::uint64_t> cutoffs{0};
+  for (std::uint64_t c = 128; c <= 1024ULL * 1024ULL; c *= 2) {
+    cutoffs.push_back(c);
+  }
+  return cutoffs;
+}
+
+std::vector<TdcSweepPoint> tdc_sweep(const CommGraph& g,
+                                     std::vector<std::uint64_t> cutoffs) {
+  if (cutoffs.empty()) cutoffs = standard_cutoffs();
+  std::vector<TdcSweepPoint> out;
+  out.reserve(cutoffs.size());
+  for (std::uint64_t c : cutoffs) {
+    out.push_back({c, tdc(g, c)});
+  }
+  return out;
+}
+
+double fcn_utilization(const CommGraph& g, std::uint64_t cutoff) {
+  if (g.num_nodes() < 2) return 0.0;
+  const TdcStats t = tdc(g, cutoff);
+  return std::min(1.0, t.avg / static_cast<double>(g.num_nodes() - 1));
+}
+
+}  // namespace hfast::graph

@@ -1,0 +1,49 @@
+#pragma once
+/// \file experiment.hpp
+/// End-to-end experiment driver: run one application kernel at one
+/// concurrency under the runtime with IPM profiling and trace capture
+/// attached, then reduce to the artifacts every bench consumes — the
+/// steady-state workload profile and communication-topology graph.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hfast/apps/app.hpp"
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/ipm/report.hpp"
+#include "hfast/trace/trace.hpp"
+
+namespace hfast::analysis {
+
+struct ExperimentConfig {
+  std::string app;          ///< registry name
+  int nranks = 64;
+  int iterations = 0;       ///< 0 = app default
+  std::uint64_t seed = 1;
+  bool capture_trace = true;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  double wall_seconds = 0.0;
+  /// Profile restricted to the steady-state region (the paper's default
+  /// view — initialization excluded, as for SuperLU).
+  ipm::WorkloadProfile steady;
+  /// Profile over all regions (init included), for the regioning contrast.
+  ipm::WorkloadProfile all_regions;
+  /// Communication topology of the steady state.
+  graph::CommGraph comm_graph;
+  /// Communication topology including initialization.
+  graph::CommGraph comm_graph_all;
+  /// Full event trace (empty when capture_trace is false).
+  trace::Trace trace;
+};
+
+/// Run the experiment; throws on invalid app/concurrency combinations.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Convenience: run by name at a concurrency with defaults.
+ExperimentResult run_experiment(std::string_view app, int nranks);
+
+}  // namespace hfast::analysis

@@ -1,0 +1,32 @@
+#pragma once
+/// \file export.hpp
+/// Machine-readable result export: CSV files for the Table 3 rows, TDC
+/// sweeps, and buffer-size CDFs, so downstream plotting does not scrape
+/// the text tables.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "hfast/analysis/paper_tables.hpp"
+
+namespace hfast::analysis {
+
+/// Writes <dir>/table3.csv with one row per (code, procs).
+void export_table3_csv(const std::filesystem::path& dir,
+                       const std::vector<Table3Row>& rows);
+
+/// Writes <dir>/tdc_<app>_p<procs>.csv: cutoff, max, avg.
+void export_tdc_sweep_csv(const std::filesystem::path& dir,
+                          const ExperimentResult& result);
+
+/// Writes <dir>/buffers_<app>_p<procs>_{ptp,collective}.csv: size, count,
+/// cumulative percent.
+void export_buffer_cdfs_csv(const std::filesystem::path& dir,
+                            const ExperimentResult& result);
+
+/// Writes <dir>/volume_<app>_p<procs>.csv: dense bytes matrix.
+void export_volume_matrix_csv(const std::filesystem::path& dir,
+                              const ExperimentResult& result);
+
+}  // namespace hfast::analysis

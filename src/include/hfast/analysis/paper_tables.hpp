@@ -1,0 +1,56 @@
+#pragma once
+/// \file paper_tables.hpp
+/// Reductions and renderers matching the paper's tables and figures:
+/// Table 3 rows, Figure 2 call breakdowns, Figure 3/4 buffer-size CDFs,
+/// and the Figure 5-10 panels (volume heatmap + TDC-vs-cutoff chart).
+
+#include <string>
+#include <vector>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/graph/tdc.hpp"
+#include "hfast/util/table.hpp"
+
+namespace hfast::analysis {
+
+struct Table3Row {
+  std::string code;
+  int procs = 0;
+  double ptp_call_percent = 0.0;
+  std::uint64_t median_ptp_buffer = 0;
+  double collective_call_percent = 0.0;
+  std::uint64_t median_collective_buffer = 0;
+  int tdc_max_at_cutoff = 0;
+  double tdc_avg_at_cutoff = 0.0;
+  double fcn_utilization = 0.0;  ///< avg TDC / (P-1)
+};
+
+Table3Row table3_row(const ExperimentResult& result,
+                     std::uint64_t cutoff = graph::kBdpCutoffBytes);
+
+util::Table render_table3(const std::vector<Table3Row>& rows);
+
+/// Figure 2: relative number of MPI calls (entries under min_percent fold
+/// into "Other").
+util::Table render_call_breakdown(const ExperimentResult& result,
+                                  double min_percent = 2.0);
+
+/// Figure 3/4: cumulative buffer-size distribution at canonical tick sizes
+/// (1, 10, 100, 1k, 2k, 10k, 100k, 1MB).
+util::Table render_buffer_cdf(const util::LogHistogram& sizes,
+                              const std::string& label);
+
+/// Figures 5-10(a): communication volume heatmap (text rendering).
+std::string render_volume_heatmap(const ExperimentResult& result,
+                                  int cells = 64);
+
+/// Figures 5-10(b): max/avg TDC vs message-size cutoff for a pair of
+/// concurrencies (P=64, P=256 in the paper).
+std::string render_tdc_chart(const std::string& app,
+                             const ExperimentResult& small,
+                             const ExperimentResult& large);
+
+/// The TDC sweep as a table (exact numbers behind the chart).
+util::Table render_tdc_sweep(const ExperimentResult& result);
+
+}  // namespace hfast::analysis

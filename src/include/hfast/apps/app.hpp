@@ -1,0 +1,76 @@
+#pragma once
+/// \file app.hpp
+/// The six synthetic application kernels (paper Table 2). Each kernel is a
+/// rank program that reproduces, at the MPI call boundary, the published
+/// communication behaviour of its production counterpart: call mix
+/// (Figure 2), buffer-size distributions (Figures 3-4), and topological
+/// connectivity with and without the 2 KB threshold (Figures 5-10,
+/// Table 3). The numerics are not reproduced — the paper's analysis
+/// consumes only messaging observables (see DESIGN.md substitutions).
+///
+/// Every kernel brackets its setup in an "init" region and its production
+/// phase in a "steady" region, mirroring how the paper uses IPM regioning
+/// to exclude SuperLU's initialization.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hfast/mpisim/rank_context.hpp"
+
+namespace hfast::apps {
+
+/// Region names every kernel uses.
+inline constexpr const char* kInitRegion = "init";
+inline constexpr const char* kSteadyRegion = "steady";
+
+struct AppParams {
+  int nranks = 64;
+  /// Steady-state iterations; 0 = the kernel's default (chosen so
+  /// concurrency-dependent coverage patterns complete a full rotation).
+  int iterations = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Paper Table 2 metadata.
+struct AppInfo {
+  std::string name;
+  int lines_of_code = 0;        ///< of the production code being modeled
+  std::string discipline;
+  std::string problem_method;
+  std::string structure;
+};
+
+struct App {
+  AppInfo info;
+  /// The per-rank program body.
+  std::function<void(mpisim::RankContext&, const AppParams&)> run;
+  /// Default steady iterations at a given concurrency.
+  std::function<int(int nranks)> default_iterations;
+
+  /// Bind parameters, producing a program Runtime::run can execute.
+  mpisim::RankProgram program(AppParams params) const;
+};
+
+/// All six kernels in the paper's Table 2 order:
+/// cactus, lbmhd, gtc, superlu, pmemd, paratec.
+const std::vector<App>& registry();
+
+/// Lookup by name; throws hfast::Error for unknown names.
+const App& find(std::string_view name);
+
+/// Valid concurrencies: kernels require specific structure (squares for
+/// SuperLU/LBMHD grids, multiples of the GTC toroidal extent...). The paper
+/// evaluates P=64 and P=256; both are valid for every kernel.
+bool valid_concurrency(const App& app, int nranks);
+
+// Individual kernels (exposed for direct use and unit tests).
+void run_cactus(mpisim::RankContext& ctx, const AppParams& params);
+void run_lbmhd(mpisim::RankContext& ctx, const AppParams& params);
+void run_gtc(mpisim::RankContext& ctx, const AppParams& params);
+void run_superlu(mpisim::RankContext& ctx, const AppParams& params);
+void run_pmemd(mpisim::RankContext& ctx, const AppParams& params);
+void run_paratec(mpisim::RankContext& ctx, const AppParams& params);
+
+}  // namespace hfast::apps

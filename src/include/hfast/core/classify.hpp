@@ -1,0 +1,62 @@
+#pragma once
+/// \file classify.hpp
+/// The paper's §2.5 application taxonomy:
+///   case i   — isotropic pattern, low bounded TDC, embeds in a regular
+///              mesh/torus (fixed networks suffice; Cactus).
+///   case ii  — anisotropic but low bounded TDC (adaptive networks like ICN
+///              or HFAST; LBMHD).
+///   case iii — average TDC bounded/small while the maximum TDC is large or
+///              the degree grows with concurrency (HFAST's flexible pool;
+///              GTC, SuperLU, PMEMD).
+///   case iv  — TDC ~ P: needs full bisection, keep the FCN (PARATEC).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/graph/tdc.hpp"
+
+namespace hfast::core {
+
+enum class CommCase {
+  kCaseI,    // regular + bounded: fixed mesh/torus sufficient
+  kCaseII,   // irregular + bounded: bounded-degree adaptive (ICN) sufficient
+  kCaseIII,  // bounded average, unbounded/scaling max: HFAST warranted
+  kCaseIV,   // TDC ~ P: FCN required
+};
+
+std::string to_string(CommCase c);
+
+struct Classification {
+  CommCase comm_case = CommCase::kCaseI;
+  graph::TdcStats tdc;        ///< at the cutoff, for the (larger) graph
+  double fcn_utilization = 0.0;
+  bool mesh_embeddable = false;
+  bool isotropic = false;
+  bool degree_scales_with_p = false;  ///< only meaningful with two graphs
+  std::string rationale;              ///< human-readable reason
+};
+
+struct ClassifyParams {
+  std::uint64_t cutoff = graph::kBdpCutoffBytes;
+  /// avg TDC / (P-1) at or above this means "uses the full FCN" (case iv).
+  double full_utilization_threshold = 0.5;
+  /// max TDC > this multiple of avg TDC flags a non-uniform pattern (iii).
+  double max_over_avg_threshold = 2.0;
+  /// avg TDC growth ratio across graphs flagging concurrency scaling (iii).
+  double scaling_ratio_threshold = 1.5;
+};
+
+/// Classify from a single run.
+Classification classify(const graph::CommGraph& g,
+                        const ClassifyParams& params = {});
+
+/// Classify using two concurrencies (paper methodology: P=64 and P=256),
+/// which is required to detect case-iii degree scaling like SuperLU's
+/// sqrt(P) growth.
+Classification classify(const graph::CommGraph& small,
+                        const graph::CommGraph& large,
+                        const ClassifyParams& params = {});
+
+}  // namespace hfast::core

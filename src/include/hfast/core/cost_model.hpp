@@ -1,0 +1,66 @@
+#pragma once
+/// \file cost_model.hpp
+/// The paper's §5.3 cost comparison:
+///   Cost_HFAST = Nactive*Cost_active + Cost_passive + Cost_collective
+/// versus fat-tree, fixed mesh/torus, and ICN alternatives, all reduced to
+/// per-port prices. Prices are normalized to one leading-edge packet-switch
+/// port = 1.0; MEMS circuit ports and low-bandwidth collective-tree ports
+/// are fractions of that (paper §2.1: circuit switches avoid line-rate
+/// switching logic and OEO transceivers, so per-port cost is far lower).
+
+#include <cstdint>
+#include <string>
+
+#include "hfast/core/provision.hpp"
+#include "hfast/topo/fat_tree.hpp"
+
+namespace hfast::core {
+
+struct CostParams {
+  double packet_port_cost = 1.0;
+  double circuit_port_cost = 0.25;
+  double collective_port_cost = 0.10;
+  int block_size = 16;
+  int fat_tree_radix = 16;
+};
+
+struct CostBreakdown {
+  std::string network;
+  std::uint64_t packet_ports = 0;
+  std::uint64_t circuit_ports = 0;
+  std::uint64_t collective_ports = 0;
+  double active_cost = 0.0;
+  double passive_cost = 0.0;
+  double collective_cost = 0.0;
+
+  double total() const noexcept {
+    return active_cost + passive_cost + collective_cost;
+  }
+};
+
+/// Ports of the dedicated low-bandwidth collective tree (BG/L-style): a
+/// binary tree over P leaves uses P-1 3-port combine nodes plus P NIC links.
+std::uint64_t collective_tree_ports(int nodes);
+
+/// HFAST: packet ports = blocks*S, circuit ports = P + blocks*S, plus the
+/// collective tree. `num_blocks` comes from a provisioning run.
+CostBreakdown hfast_cost(int nodes, int num_blocks, const CostParams& params);
+
+/// Fat-tree: P*(1+2(L-1)) packet ports (paper formula); no circuit switch.
+/// The collective tree is included so the comparison is apples-to-apples
+/// only when `include_collective_tree` is set (a fat-tree can carry its own
+/// collectives).
+CostBreakdown fat_tree_cost(int nodes, const CostParams& params,
+                            bool include_collective_tree = false);
+
+/// Fixed mesh/torus: one router per node with 2*ndims network ports plus
+/// the NIC port, all at packet-port prices; plus the collective tree (as on
+/// BlueGene/L).
+CostBreakdown mesh_cost(int nodes, int ndims, const CostParams& params);
+
+/// ICN (Gupta & Schenfeld): blocks of k processors behind a 2k-port
+/// crossbar (k host + k external), external ports into a circuit switch of
+/// P_ext = nodes ports.
+CostBreakdown icn_cost(int nodes, int k, const CostParams& params);
+
+}  // namespace hfast::core

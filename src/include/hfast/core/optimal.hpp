@@ -1,0 +1,40 @@
+#pragma once
+/// \file optimal.hpp
+/// Exact (brute-force) switch-block minimization for small graphs. The
+/// paper bounds its greedy construction at "potentially twice as many
+/// switch ports as an optimal embedding" and notes the general problem is
+/// NP-complete (clique mapping, Kou et al. [12]); this module provides the
+/// ground truth on graphs small enough to enumerate, used by property
+/// tests to verify the 2x claim and to score the clique heuristic.
+///
+/// Model: every node is hosted on exactly one block; an edge between
+/// co-hosted nodes rides the block's internal crossbar for free; any other
+/// edge consumes one trunk port on each endpoint's block. A block of size S
+/// is feasible iff hosts + trunk endpoints <= S. The optimum is the least
+/// number of blocks over all set partitions of the nodes (single-block
+/// groups only — expansion chains never reduce the block count below this
+/// bound, since splitting a group into a chain costs extra link ports).
+
+#include <optional>
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+
+namespace hfast::core {
+
+struct OptimalProvision {
+  int num_blocks = 0;
+  std::vector<int> block_of_node;  ///< node -> block index
+  int internal_edges = 0;
+};
+
+/// Exhaustive set-partition search. Feasible for num_nodes <= ~10
+/// (Bell(10) = 115975 partitions). Throws hfast::Error beyond `max_nodes`.
+/// Returns nullopt if even the all-singletons partition is infeasible
+/// (some node's degree exceeds S-1, which would require chains).
+std::optional<OptimalProvision> optimal_blocks(const graph::CommGraph& g,
+                                               int block_size,
+                                               std::uint64_t cutoff = 0,
+                                               int max_nodes = 10);
+
+}  // namespace hfast::core

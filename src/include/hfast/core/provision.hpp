@@ -1,0 +1,71 @@
+#pragma once
+/// \file provision.hpp
+/// HFAST provisioning: turning a (thresholded) communication graph into a
+/// concrete fabric of switch blocks and circuit-switch patches.
+///
+/// Two strategies:
+///  * kGreedyPerNode — the paper's §5.3 linear-time upper bound. Every node
+///    gets its own block; a node whose thresholded TDC exceeds the block's
+///    usable degree gets a chain ("tree") of blocks. Every partner edge
+///    receives a dedicated trunk. Uses at most 2x the ports of an optimal
+///    embedding and never exploits block-internal bisection.
+///  * kCliqueShared — the clique-mapping improvement the paper sketches in
+///    §5.3/§6 (Kou et al. reduction): cliques of tasks share one block so
+///    their mutual edges ride the block's internal crossbar for free;
+///    remaining edges are trunked, with expansion blocks chained on demand.
+
+#include <cstdint>
+
+#include "hfast/core/fabric.hpp"
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/graph/tdc.hpp"
+
+namespace hfast::core {
+
+struct ProvisionParams {
+  int block_size = 16;
+  /// Message-size threshold selecting which partners deserve a dedicated
+  /// circuit (paper: the 2 KB bandwidth-delay product).
+  std::uint64_t cutoff = graph::kBdpCutoffBytes;
+  /// Clique strategy: largest clique mapped onto one block
+  /// (0 = block_size - 1, leaving one port of slack for expansion).
+  std::size_t max_clique = 0;
+};
+
+enum class ProvisionStrategy { kGreedyPerNode, kCliqueShared };
+
+struct ProvisionStats {
+  int num_blocks = 0;
+  int num_trunks = 0;       ///< inter-block circuit patches (incl. chains)
+  int edges_provisioned = 0;
+  int internal_edges = 0;   ///< edges riding a shared block's crossbar
+  double avg_circuit_traversals = 0.0;
+  int max_circuit_traversals = 0;
+  double avg_switch_hops = 0.0;
+  int max_switch_hops = 0;
+};
+
+struct Provisioned {
+  Fabric fabric;
+  ProvisionStats stats;
+};
+
+/// Blocks the greedy strategy assigns a node of thresholded degree d:
+/// max(1, ceil((d-1)/(S-2))) for block size S — a chain of B blocks exposes
+/// (S-2)B + 1 partner ports after the host link and chain links.
+int greedy_blocks_for_degree(int degree, int block_size);
+
+Provisioned provision(const graph::CommGraph& g, const ProvisionParams& params,
+                      ProvisionStrategy strategy);
+
+inline Provisioned provision_greedy(const graph::CommGraph& g,
+                                    const ProvisionParams& params = {}) {
+  return provision(g, params, ProvisionStrategy::kGreedyPerNode);
+}
+
+inline Provisioned provision_clique(const graph::CommGraph& g,
+                                    const ProvisionParams& params = {}) {
+  return provision(g, params, ProvisionStrategy::kCliqueShared);
+}
+
+}  // namespace hfast::core

@@ -1,0 +1,55 @@
+#pragma once
+/// \file reconfigure.hpp
+/// Runtime incremental topology adaptation (paper §2.3 and §6): as traffic
+/// statistics accumulate, the circuit switch is re-patched at discrete
+/// synchronization points to track the application's current communication
+/// phase. MEMS reconfiguration costs milliseconds, so the engine applies
+/// hysteresis (a circuit is torn down only after going unused for a number
+/// of windows) and reports how much switching a phase-varying workload
+/// would actually incur versus provisioning the union topology statically.
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/graph/tdc.hpp"
+
+namespace hfast::core {
+
+struct ReconfigParams {
+  std::uint64_t cutoff = graph::kBdpCutoffBytes;
+  /// One circuit-switch reconfiguration event (any batch of re-patches at a
+  /// synchronization point) costs this long (MEMS: milliseconds).
+  double reconfig_seconds = 2e-3;
+  /// A circuit survives this many windows without traffic before teardown.
+  int hysteresis_windows = 1;
+};
+
+struct WindowDelta {
+  std::size_t window = 0;
+  int circuits_added = 0;
+  int circuits_removed = 0;
+  int circuits_active = 0;  ///< after applying this window's changes
+  bool reconfigured = false;
+};
+
+struct ReconfigReport {
+  std::vector<WindowDelta> deltas;
+  int total_reconfigurations = 0;
+  int total_added = 0;
+  int total_removed = 0;
+  double reconfig_time_seconds = 0.0;
+  int peak_circuits = 0;
+  /// Circuits a one-shot static provisioning of the union graph would need;
+  /// peak_circuits <= static_circuits quantifies the adaptive saving.
+  int static_circuits = 0;
+};
+
+/// Plan circuit changes across a sequence of per-window communication
+/// graphs (from trace::windowed_graphs).
+ReconfigReport plan_reconfigurations(const std::vector<graph::CommGraph>& windows,
+                                     const ReconfigParams& params = {});
+
+}  // namespace hfast::core

@@ -1,0 +1,108 @@
+#pragma once
+/// \file switch_block.hpp
+/// An active (packet) switch block — the commodity building unit HFAST
+/// provisions from a shared pool (paper §2.3). Every port physically
+/// terminates at the circuit switch; logically a port is free, a host link
+/// to a node's NIC, or a trunk to another block's port.
+
+#include <cstdint>
+#include <vector>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::core {
+
+enum class PortUse : std::uint8_t { kFree, kHost, kTrunk };
+
+/// (block, port) address of the far end of a trunk.
+struct PortRef {
+  int block = -1;
+  int port = -1;
+
+  bool valid() const noexcept { return block >= 0 && port >= 0; }
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+struct Port {
+  PortUse use = PortUse::kFree;
+  int host_node = -1;  ///< valid when use == kHost
+  PortRef peer;        ///< valid when use == kTrunk
+};
+
+class SwitchBlock {
+ public:
+  SwitchBlock(int id, int num_ports) : id_(id) {
+    HFAST_EXPECTS(num_ports >= 2);
+    ports_.resize(static_cast<std::size_t>(num_ports));
+  }
+
+  int id() const noexcept { return id_; }
+  int num_ports() const noexcept { return static_cast<int>(ports_.size()); }
+
+  const Port& port(int i) const {
+    HFAST_EXPECTS(i >= 0 && i < num_ports());
+    return ports_[static_cast<std::size_t>(i)];
+  }
+
+  /// Lowest-index free port, or -1.
+  int first_free() const noexcept {
+    for (int i = 0; i < num_ports(); ++i) {
+      if (ports_[static_cast<std::size_t>(i)].use == PortUse::kFree) return i;
+    }
+    return -1;
+  }
+
+  int num_free() const noexcept { return count(PortUse::kFree); }
+  int num_host() const noexcept { return count(PortUse::kHost); }
+  int num_trunk() const noexcept { return count(PortUse::kTrunk); }
+
+  /// Claim a free port as a host link for `node`; returns the port index.
+  int attach_host(int node) {
+    const int p = first_free();
+    HFAST_EXPECTS_MSG(p >= 0, "switch block out of ports (host attach)");
+    ports_[static_cast<std::size_t>(p)] = {PortUse::kHost, node, {}};
+    return p;
+  }
+
+  /// Claim a free port as a trunk endpoint; peer is patched by the fabric.
+  int attach_trunk(PortRef peer) {
+    const int p = first_free();
+    HFAST_EXPECTS_MSG(p >= 0, "switch block out of ports (trunk attach)");
+    ports_[static_cast<std::size_t>(p)] = {PortUse::kTrunk, -1, peer};
+    return p;
+  }
+
+  void set_trunk_peer(int port_index, PortRef peer) {
+    HFAST_EXPECTS(port_index >= 0 && port_index < num_ports());
+    Port& p = ports_[static_cast<std::size_t>(port_index)];
+    HFAST_EXPECTS(p.use == PortUse::kTrunk);
+    p.peer = peer;
+  }
+
+  void release(int port_index) {
+    HFAST_EXPECTS(port_index >= 0 && port_index < num_ports());
+    ports_[static_cast<std::size_t>(port_index)] = Port{};
+  }
+
+  std::vector<int> hosted_nodes() const {
+    std::vector<int> out;
+    for (const Port& p : ports_) {
+      if (p.use == PortUse::kHost) out.push_back(p.host_node);
+    }
+    return out;
+  }
+
+ private:
+  int count(PortUse use) const noexcept {
+    int n = 0;
+    for (const Port& p : ports_) {
+      if (p.use == use) ++n;
+    }
+    return n;
+  }
+
+  int id_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace hfast::core

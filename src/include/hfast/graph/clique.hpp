@@ -1,0 +1,32 @@
+#pragma once
+/// \file clique.hpp
+/// Greedy edge-clique-cover heuristic. The paper (§5.3/§6) reduces optimal
+/// HFAST switch-block assignment to the clique-mapping problem of Kou,
+/// Stockmeyer & Wong [12], which is NP-complete in general; this module
+/// provides the polynomial-time heuristic the clique-based provisioner
+/// builds on: cover all edges with cliques, preferring large cliques so a
+/// whole clique can share one switch block's internal crossbar.
+
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+
+namespace hfast::graph {
+
+struct Clique {
+  std::vector<Node> members;  // sorted
+};
+
+/// Cover every edge of `g` with cliques of size <= max_size.
+/// Greedy: repeatedly seed with an uncovered edge, grow by the vertex
+/// adjacent to all current members that covers the most still-uncovered
+/// edges, stop at max_size. Every edge appears in >= 1 returned clique.
+std::vector<Clique> greedy_edge_clique_cover(const CommGraph& g,
+                                             std::size_t max_size);
+
+/// Validation helper: true iff every edge of `g` is inside some clique and
+/// every clique is in fact complete in `g`.
+bool is_valid_clique_cover(const CommGraph& g,
+                           const std::vector<Clique>& cover);
+
+}  // namespace hfast::graph

@@ -1,0 +1,79 @@
+#pragma once
+/// \file comm_graph.hpp
+/// The undirected, weighted communication-topology graph (paper §4.4):
+/// vertices are tasks, an edge {i,j} aggregates every point-to-point message
+/// exchanged between i and j in either direction (switch links are assumed
+/// bidirectional, so the paper's matrices are symmetric). Each edge keeps
+/// call counts, byte totals, and the largest single message — the quantity
+/// the bandwidth-delay-product thresholding heuristic keys on.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "hfast/ipm/report.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::graph {
+
+using Node = int;
+
+struct EdgeStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t max_message = 0;
+
+  void add(std::uint64_t msg_bytes, std::uint64_t count = 1) {
+    messages += count;
+    bytes += msg_bytes * count;
+    if (msg_bytes > max_message) max_message = msg_bytes;
+  }
+};
+
+class CommGraph {
+ public:
+  explicit CommGraph(int num_nodes = 0);
+
+  int num_nodes() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Accumulate a transfer of `bytes` between u and v (order irrelevant).
+  void add_message(Node u, Node v, std::uint64_t bytes, std::uint64_t count = 1);
+
+  /// Build from a merged IPM workload profile's send-side message counts.
+  static CommGraph from_profile(const ipm::WorkloadProfile& profile);
+
+  const EdgeStats* edge(Node u, Node v) const;
+  const std::map<std::pair<Node, Node>, EdgeStats>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Distinct partners of `u` whose edge carries at least one message of
+  /// size >= cutoff (cutoff 0 = raw connectivity).
+  std::vector<Node> partners(Node u, std::uint64_t cutoff = 0) const;
+
+  /// Degree of every node under the cutoff.
+  std::vector<int> degrees(std::uint64_t cutoff = 0) const;
+
+  /// Total bytes exchanged as a dense symmetric matrix (the (a) panels of
+  /// Figures 5-10).
+  std::vector<std::vector<double>> volume_matrix() const;
+
+  /// Subgraph keeping only edges that survive the cutoff.
+  CommGraph thresholded(std::uint64_t cutoff) const;
+
+  std::uint64_t total_bytes() const;
+
+ private:
+  static std::pair<Node, Node> key(Node u, Node v) {
+    return u < v ? std::pair{u, v} : std::pair{v, u};
+  }
+
+  int n_ = 0;
+  std::map<std::pair<Node, Node>, EdgeStats> edges_;
+  std::vector<std::vector<Node>> adjacency_;  // symmetric neighbor lists
+};
+
+}  // namespace hfast::graph

@@ -1,0 +1,31 @@
+#pragma once
+/// \file contraction.hpp
+/// Bounded-contraction analysis for the ICN baseline (Gupta & Schenfeld
+/// [10]). An ICN groups processors into blocks of size k behind small
+/// crossbars; a job fits iff the communication graph has a partition into
+/// blocks of <= k vertices whose *external* degree (distinct partners
+/// outside the block) is <= k. Finding such a contraction is NP-complete
+/// for k > 2 (paper §2.2), so we provide a BFS-packing heuristic plus an
+/// exact check for tiny graphs in tests.
+
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+
+namespace hfast::graph {
+
+struct ContractionResult {
+  bool feasible = false;          ///< heuristic found a bounded contraction
+  std::vector<int> block_of;      ///< node -> block index (when feasible)
+  int num_blocks = 0;
+  int worst_external_degree = 0;  ///< max over blocks of external partners
+};
+
+/// Greedy BFS packing: grow blocks of size <= k from unassigned seed nodes,
+/// preferring neighbors that minimize the block's external degree. Returns
+/// feasible=false if some block's external degree exceeds k (the job would
+/// need multi-path routing over the ICN circuit switch, paying bandwidth).
+ContractionResult bounded_contraction(const CommGraph& g, int k,
+                                      std::uint64_t cutoff = 0);
+
+}  // namespace hfast::graph

@@ -1,0 +1,50 @@
+#pragma once
+/// \file metrics.hpp
+/// Structural metrics behind the paper's case i-iv taxonomy (§2.5):
+/// isotropy (is the communication pattern translation-invariant?) and
+/// mesh-isomorphism (does it embed exactly into some regular mesh/torus?).
+
+#include <cstdint>
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+
+namespace hfast::graph {
+
+/// A pattern is isotropic when every node sees the same multiset of partner
+/// *offsets* (v - u mod P). Regular torus decompositions (GTC's primary
+/// pattern, LBMHD's interleaved lattice) are isotropic; master-worker and
+/// scale-free patterns are not. Nodes on non-periodic boundaries are
+/// tolerated via `tolerance`: the fraction of nodes allowed to deviate
+/// (Cactus's 3D stencil is isotropic in the interior only).
+bool is_isotropic(const CommGraph& g, std::uint64_t cutoff = 0,
+                  double tolerance = 0.5);
+
+/// Candidate grid shapes for P nodes in 1-3 dimensions (all ordered
+/// factorizations; used by mesh-isomorphism testing).
+std::vector<std::vector<int>> grid_factorizations(int p, int max_dims = 3);
+
+/// True if the thresholded graph's edge set is a subgraph of some
+/// <=3-dimensional mesh or torus neighbor structure under the natural
+/// lexicographic rank->coordinate labeling. This is the paper's criterion
+/// for "maps isomorphically onto a fixed mesh network" (case i): every edge
+/// is a +-1 step in exactly one dimension.
+bool embeds_in_mesh(const CommGraph& g, std::uint64_t cutoff = 0,
+                    bool torus_wraparound = true);
+
+/// Coefficient of variation of node degrees (0 = perfectly regular).
+double degree_cv(const CommGraph& g, std::uint64_t cutoff = 0);
+
+/// Number of connected components of the (thresholded) graph; isolated
+/// nodes count as their own component.
+int connected_components(const CommGraph& g, std::uint64_t cutoff = 0);
+
+/// True when every node can reach every other through surviving edges.
+/// A production code's point-to-point graph is connected in steady state;
+/// a disconnected one usually signals a modeling bug (this check caught a
+/// parity-preserving offset set in the LBMHD kernel).
+inline bool is_connected(const CommGraph& g, std::uint64_t cutoff = 0) {
+  return g.num_nodes() <= 1 || connected_components(g, cutoff) == 1;
+}
+
+}  // namespace hfast::graph

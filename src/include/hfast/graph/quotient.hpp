@@ -1,0 +1,34 @@
+#pragma once
+/// \file quotient.hpp
+/// SMP-node aggregation (the paper's §5 deliberate simplification, left as
+/// future work): group tasks onto multi-core nodes; traffic between
+/// co-resident tasks stays on the node's backplane and the interconnect
+/// sees only the quotient graph. Pairs with core::provision* to study how
+/// cores-per-node shrinks the thresholded TDC and the switch-block pool.
+
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+
+namespace hfast::graph {
+
+struct QuotientResult {
+  CommGraph graph;                 ///< node-level communication graph
+  std::vector<int> node_of_task;   ///< task -> SMP node
+  std::uint64_t internal_bytes = 0;  ///< traffic absorbed by backplanes
+};
+
+/// Contract tasks by an explicit assignment (values in [0, num_nodes)).
+QuotientResult quotient_graph(const CommGraph& g,
+                              const std::vector<int>& node_of_task,
+                              int num_nodes);
+
+/// The naive packing a topology-blind scheduler produces: tasks
+/// [k*c, (k+1)*c) share node k, c = tasks_per_node.
+QuotientResult quotient_by_blocks(const CommGraph& g, int tasks_per_node);
+
+/// Traffic-aware packing: greedily merge the heaviest remaining edge whose
+/// endpoints' groups still fit (classic heavy-edge matching, iterated).
+QuotientResult quotient_by_affinity(const CommGraph& g, int tasks_per_node);
+
+}  // namespace hfast::graph

@@ -1,0 +1,43 @@
+#pragma once
+/// \file tdc.hpp
+/// Topological degree of communication (TDC) — the paper's central reduced
+/// metric — and the cutoff sweeps behind the (b) panels of Figures 5-10.
+
+#include <cstdint>
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+
+namespace hfast::graph {
+
+/// The 2 KB bandwidth-delay-product threshold the paper standardizes on
+/// (Table 1 / §2.4).
+inline constexpr std::uint64_t kBdpCutoffBytes = 2048;
+
+struct TdcStats {
+  int max = 0;
+  double avg = 0.0;
+  int median = 0;
+  int min = 0;
+};
+
+/// TDC statistics at a message-size cutoff.
+TdcStats tdc(const CommGraph& g, std::uint64_t cutoff = 0);
+
+/// The paper's cutoff axis: 0, 128, 256, 512, 1k, ..., 1024k.
+std::vector<std::uint64_t> standard_cutoffs();
+
+struct TdcSweepPoint {
+  std::uint64_t cutoff = 0;
+  TdcStats stats;
+};
+
+/// TDC at every cutoff in `cutoffs` (default: standard_cutoffs()).
+std::vector<TdcSweepPoint> tdc_sweep(const CommGraph& g,
+                                     std::vector<std::uint64_t> cutoffs = {});
+
+/// Fraction of FCN links a code actually exercises: avg TDC / (P-1),
+/// the paper's "FCN Circuit Utilization" column.
+double fcn_utilization(const CommGraph& g, std::uint64_t cutoff);
+
+}  // namespace hfast::graph

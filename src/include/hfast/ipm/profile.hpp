@@ -1,0 +1,130 @@
+#pragma once
+/// \file profile.hpp
+/// IPM-model profiling layer.
+///
+/// Mirrors the design the paper describes for IPM (§3.1): a *fixed memory
+/// footprint* hash table keyed by the unique argument signature of each MPI
+/// call — (call type, peer, buffer size, code region) — storing call counts
+/// and min/max/total completion times. Code regions separate application
+/// initialization from steady state, which the paper uses to exclude
+/// SuperLU's setup traffic.
+///
+/// RankProfile additionally accumulates the per-(peer, size) *send* message
+/// counts that the communication-topology graph (src/graph) is built from;
+/// receives are not double counted.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hfast/mpisim/observer.hpp"
+
+namespace hfast::ipm {
+
+using mpisim::CallType;
+using mpisim::Rank;
+
+using RegionId = std::uint16_t;
+inline constexpr RegionId kGlobalRegion = 0;
+
+/// One aggregated hash-table entry, exported for analysis.
+struct CallRecord {
+  CallType call = CallType::kSend;
+  Rank peer = mpisim::kNoPeer;
+  std::uint64_t bytes = 0;
+  RegionId region = kGlobalRegion;
+  std::uint64_t count = 0;
+  double time_total = 0.0;
+  double time_min = 0.0;
+  double time_max = 0.0;
+};
+
+/// Fixed-capacity open-addressing hash table over call signatures.
+/// No rehash, no allocation after construction: when the table fills,
+/// further distinct signatures are tallied in dropped() — the same
+/// fixed-footprint contract real IPM makes.
+class CallTable {
+ public:
+  explicit CallTable(std::size_t capacity_pow2 = 4096);
+
+  void record(CallType call, Rank peer, std::uint64_t bytes, RegionId region,
+              double seconds);
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return used_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Export all live entries (unspecified order).
+  std::vector<CallRecord> records() const;
+
+ private:
+  struct Slot {
+    bool used = false;
+    CallType call = CallType::kSend;
+    Rank peer = 0;
+    std::uint64_t bytes = 0;
+    RegionId region = kGlobalRegion;
+    std::uint64_t count = 0;
+    double time_total = 0.0;
+    double time_min = 0.0;
+    double time_max = 0.0;
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t used_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Key for per-message accumulation: (region, peer world rank, bytes).
+struct MsgKey {
+  RegionId region = kGlobalRegion;
+  Rank peer = 0;
+  std::uint64_t bytes = 0;
+
+  friend auto operator<=>(const MsgKey&, const MsgKey&) = default;
+};
+
+/// Per-rank profile; implements the observer interface RankContext drives.
+class RankProfile final : public mpisim::CommObserver {
+ public:
+  explicit RankProfile(Rank rank, std::size_t table_capacity = 4096);
+
+  Rank rank() const noexcept { return rank_; }
+
+  // CommObserver
+  void on_call(CallType call, Rank peer, std::uint64_t bytes,
+               double seconds) override;
+  void on_message(Rank peer_world, std::uint64_t bytes, bool is_send) override;
+  void on_region(std::string_view name, bool enter) override;
+
+  const CallTable& calls() const noexcept { return table_; }
+  std::vector<CallRecord> call_records() const { return table_.records(); }
+
+  /// Send-side message counts: (region, peer, size) -> count.
+  const std::map<MsgKey, std::uint64_t>& sent_messages() const noexcept {
+    return sent_;
+  }
+
+  /// Region id -> name ("" at id 0 is the implicit global region).
+  const std::vector<std::string>& region_names() const noexcept {
+    return region_names_;
+  }
+
+  /// Look up a region id by name; returns false if never entered.
+  bool find_region(std::string_view name, RegionId& out) const;
+
+ private:
+  RegionId current_region() const noexcept {
+    return region_stack_.empty() ? kGlobalRegion : region_stack_.back();
+  }
+  RegionId intern_region(std::string_view name);
+
+  Rank rank_;
+  CallTable table_;
+  std::map<MsgKey, std::uint64_t> sent_;
+  std::vector<std::string> region_names_{""};
+  std::vector<RegionId> region_stack_;
+};
+
+}  // namespace hfast::ipm

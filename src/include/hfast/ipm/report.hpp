@@ -1,0 +1,83 @@
+#pragma once
+/// \file report.hpp
+/// Workload-level reductions over per-rank IPM profiles: call-type
+/// breakdowns (Figure 2), point-to-point and collective buffer-size
+/// distributions (Figures 3-4), and the call/byte summary columns of
+/// Table 3. Supports region filtering so initialization traffic can be
+/// excluded, as the paper does for SuperLU.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hfast/ipm/profile.hpp"
+#include "hfast/util/histogram.hpp"
+
+namespace hfast::ipm {
+
+struct CallBreakdownEntry {
+  CallType call;
+  std::uint64_t count;
+  double percent;
+};
+
+/// Merged, region-filtered view of a whole run.
+class WorkloadProfile {
+ public:
+  /// Merge rank profiles, keeping only activity recorded inside the region
+  /// with the given name. An empty name keeps everything (all regions).
+  static WorkloadProfile merge(
+      std::span<const RankProfile* const> ranks,
+      std::string_view region = "");
+
+  int nranks() const noexcept { return nranks_; }
+
+  std::uint64_t total_calls() const noexcept { return total_calls_; }
+  std::uint64_t calls_of(CallType call) const;
+
+  /// Entries sorted by descending count; calls below `min_percent` are
+  /// folded into a trailing "Other" entry (mirrors Figure 2's pie labels).
+  std::vector<CallBreakdownEntry> call_breakdown(double min_percent = 0.0) const;
+
+  /// Buffer sizes of data-carrying point-to-point calls (both sides).
+  const util::LogHistogram& ptp_buffers() const noexcept { return ptp_buffers_; }
+  /// Buffer sizes of data-carrying collective calls.
+  const util::LogHistogram& collective_buffers() const noexcept {
+    return coll_buffers_;
+  }
+
+  /// Percentage of communication calls that are point-to-point
+  /// (includes the wait family, matching the paper's accounting).
+  double ptp_call_percent() const;
+  double collective_call_percent() const;
+
+  std::uint64_t median_ptp_buffer() const { return ptp_buffers_.median(); }
+  std::uint64_t median_collective_buffer() const { return coll_buffers_.median(); }
+
+  /// Total dropped signatures across ranks (fixed-footprint overflow).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Send-side per-rank message counts, (peer, bytes) -> count; index is the
+  /// sending world rank. This is the input to graph::CommGraph.
+  using SentMap = std::map<std::pair<Rank, std::uint64_t>, std::uint64_t>;
+  const std::vector<SentMap>& sent() const noexcept { return sent_; }
+
+  /// Sum of call time over all ranks, per call type (seconds).
+  double time_of(CallType call) const;
+
+ private:
+  int nranks_ = 0;
+  std::uint64_t total_calls_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::uint64_t> counts_ =
+      std::vector<std::uint64_t>(mpisim::kNumCallTypes, 0);
+  std::vector<double> times_ = std::vector<double>(mpisim::kNumCallTypes, 0.0);
+  util::LogHistogram ptp_buffers_;
+  util::LogHistogram coll_buffers_;
+  std::vector<SentMap> sent_;
+};
+
+}  // namespace hfast::ipm

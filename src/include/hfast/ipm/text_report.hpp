@@ -1,0 +1,35 @@
+#pragma once
+/// \file text_report.hpp
+/// IPM-style human-readable profile reports: the banner summary real IPM
+/// prints at MPI_Finalize (call table with counts, byte totals and wall
+/// times, per-region sections, hash-table health), rendered from a merged
+/// WorkloadProfile or from raw rank profiles.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "hfast/ipm/report.hpp"
+
+namespace hfast::ipm {
+
+struct TextReportOptions {
+  std::string job_name = "hfast";
+  /// Print one section per region in addition to the whole-job view.
+  bool per_region = true;
+  /// Rows below this share of total calls fold into "(other)".
+  double min_call_percent = 0.5;
+};
+
+/// Whole-job banner: call table sorted by time, buffer statistics, hash
+/// occupancy. Regions resolved across ranks by name.
+void write_text_report(std::ostream& os,
+                       std::span<const RankProfile* const> ranks,
+                       const TextReportOptions& options = {});
+
+/// One section for an already-merged (possibly region-filtered) workload.
+void write_workload_section(std::ostream& os, const WorkloadProfile& workload,
+                            const std::string& title,
+                            const TextReportOptions& options = {});
+
+}  // namespace hfast::ipm

@@ -1,0 +1,42 @@
+#pragma once
+/// \file communicator.hpp
+/// A per-rank view of a process group: ordered member list (world ranks)
+/// plus this rank's index. Communicators are created by the runtime (world)
+/// or by RankContext::split (MPI_Comm_split semantics), which GTC's
+/// per-toroidal-partition gathers rely on.
+
+#include <vector>
+
+#include "hfast/mpisim/types.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::mpisim {
+
+class Communicator {
+ public:
+  Communicator() = default;
+  Communicator(int id, std::vector<Rank> members, int my_rank)
+      : id_(id), members_(std::move(members)), my_rank_(my_rank) {
+    HFAST_EXPECTS(my_rank_ >= 0 &&
+                  static_cast<std::size_t>(my_rank_) < members_.size());
+  }
+
+  int id() const noexcept { return id_; }
+  int size() const noexcept { return static_cast<int>(members_.size()); }
+  int rank() const noexcept { return my_rank_; }
+
+  /// World rank of communicator member r.
+  Rank world_rank(int r) const {
+    HFAST_EXPECTS(r >= 0 && r < size());
+    return members_[static_cast<std::size_t>(r)];
+  }
+
+  const std::vector<Rank>& members() const noexcept { return members_; }
+
+ private:
+  int id_ = 0;
+  std::vector<Rank> members_;
+  int my_rank_ = 0;
+};
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,88 @@
+#pragma once
+/// \file mailbox.hpp
+/// Per-rank incoming message queue with MPI-style matching (source/tag,
+/// wildcards, FIFO order per channel). Messages are bucketed by
+/// (comm, source, internal) so the common exact-source match is O(1) even
+/// with hundreds of outstanding messages (PMEMD/PARATEC post whole
+/// partner sweeps); wildcard-source receives fall back to choosing the
+/// earliest-arrived matching message across buckets, preserving fairness
+/// and determinism.
+///
+/// Blocking operations carry a watchdog timeout so a mis-written
+/// application surfaces as a diagnosed deadlock instead of a hung test
+/// suite, and honor a global abort flag so one rank's failure unwinds the
+/// whole job.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "hfast/mpisim/message.hpp"
+
+namespace hfast::mpisim {
+
+class Mailbox {
+ public:
+  Mailbox(const std::atomic<bool>* abort_flag, std::chrono::milliseconds timeout)
+      : abort_flag_(abort_flag), timeout_(timeout) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueue an arriving message (called from the sender's thread).
+  void deliver(Message m);
+
+  /// Non-blocking match: removes and returns the earliest message
+  /// satisfying the pattern.
+  bool try_match(int comm_id, Rank src, Tag tag, bool internal, Message& out);
+
+  /// Non-destructive probe (MPI_Iprobe): reports the earliest matching
+  /// message's source and size without removing it.
+  bool peek(int comm_id, Rank src, Tag tag, bool internal, Rank& src_out,
+            std::uint64_t& bytes_out) const;
+
+  /// Blocking match. Throws hfast::Error on abort or watchdog expiry.
+  Message match_blocking(int comm_id, Rank src, Tag tag, bool internal);
+
+  /// Monotone counter bumped on every delivery; waitany polls against it.
+  std::uint64_t version() const;
+
+  /// Block until version() != seen (i.e. something new arrived).
+  /// Throws hfast::Error on abort or watchdog expiry.
+  void wait_version_change(std::uint64_t seen);
+
+  /// Wake all waiters (used when the abort flag is raised).
+  void interrupt();
+
+  /// Number of queued (unmatched) messages; used by tests and by the
+  /// runtime's leak check at teardown.
+  std::size_t pending() const;
+
+ private:
+  struct Arrived {
+    Message msg;
+    std::uint64_t arrival = 0;
+  };
+  /// Bucket key: (comm_id, internal, src_comm).
+  using BucketKey = std::tuple<int, bool, Rank>;
+
+  void check_abort_locked() const;
+  /// Locked helper: find-and-remove. Returns false when nothing matches.
+  bool match_locked(int comm_id, Rank src, Tag tag, bool internal,
+                    Message& out);
+
+  const std::atomic<bool>* abort_flag_;
+  std::chrono::milliseconds timeout_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<BucketKey, std::deque<Arrived>> buckets_;
+  std::uint64_t next_arrival_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace hfast::mpisim

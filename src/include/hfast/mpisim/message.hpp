@@ -1,0 +1,38 @@
+#pragma once
+/// \file message.hpp
+/// The in-flight message record. The runtime uses eager buffered delivery:
+/// a send deposits the message in the destination mailbox and completes
+/// immediately, so payload (when captured) is owned by shared_ptr and moves
+/// between threads without copying.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hfast/mpisim/types.hpp"
+
+namespace hfast::mpisim {
+
+struct Message {
+  int comm_id = 0;
+  Rank src_world = 0;  ///< sender's world rank (graph attribution)
+  Rank dst_world = 0;
+  Rank src_comm = 0;   ///< sender's rank within comm_id (matching key)
+  Tag tag = 0;
+  bool internal = false;  ///< collective-plumbing traffic; hidden from observers
+  std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;  ///< per-sender issue order, for trace replay
+  std::shared_ptr<const std::vector<std::byte>> payload;  ///< null unless captured
+};
+
+/// Matching predicate: does `m` satisfy a receive posted for
+/// (comm, src, tag, internal)? Wildcards follow MPI semantics.
+inline bool matches(const Message& m, int comm_id, Rank src, Tag tag,
+                    bool internal) noexcept {
+  if (m.comm_id != comm_id || m.internal != internal) return false;
+  if (src != kAnySource && m.src_comm != src) return false;
+  if (tag != kAnyTag && m.tag != tag) return false;
+  return true;
+}
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,64 @@
+#pragma once
+/// \file observer.hpp
+/// The profiling boundary. RankContext invokes a CommObserver at the same
+/// points a PMPI name-shifted wrapper would intercept a real MPI library,
+/// which is exactly where IPM hooks in the paper. Implementations include
+/// ipm::RankProfile (hashed statistics) and trace::TraceRecorder (event log).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hfast/mpisim/types.hpp"
+
+namespace hfast::mpisim {
+
+class CommObserver {
+ public:
+  virtual ~CommObserver() = default;
+
+  /// A communication call returned on this rank.
+  /// \param peer    comm-local peer for PTP calls (posted source for
+  ///                receives, kAnySource if wildcarded), kNoPeer otherwise.
+  /// \param bytes   the buffer-size argument of the call (0 for wait/barrier).
+  /// \param seconds wall time spent inside the call.
+  virtual void on_call(CallType call, Rank peer, std::uint64_t bytes,
+                       double seconds) = 0;
+
+  /// A completed point-to-point transfer endpoint, attributed to resolved
+  /// *world* ranks. Fired at send injection and at receive match; never for
+  /// collective-internal plumbing. This is what the communication-topology
+  /// graph is built from.
+  virtual void on_message(Rank peer_world, std::uint64_t bytes, bool is_send) = 0;
+
+  /// Code-region bracket (IPM regioning; used to separate initialization
+  /// from steady state, as the paper does for SuperLU).
+  virtual void on_region(std::string_view name, bool enter) {
+    (void)name;
+    (void)enter;
+  }
+};
+
+/// Fan-out observer so a run can feed the profiler and the tracer at once.
+class MultiObserver final : public CommObserver {
+ public:
+  void attach(CommObserver* obs) {
+    if (obs != nullptr) children_.push_back(obs);
+  }
+
+  void on_call(CallType call, Rank peer, std::uint64_t bytes,
+               double seconds) override {
+    for (auto* c : children_) c->on_call(call, peer, bytes, seconds);
+  }
+  void on_message(Rank peer_world, std::uint64_t bytes, bool is_send) override {
+    for (auto* c : children_) c->on_message(peer_world, bytes, is_send);
+  }
+  void on_region(std::string_view name, bool enter) override {
+    for (auto* c : children_) c->on_region(name, enter);
+  }
+
+ private:
+  std::vector<CommObserver*> children_;
+};
+
+}  // namespace hfast::mpisim

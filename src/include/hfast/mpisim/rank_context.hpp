@@ -1,0 +1,163 @@
+#pragma once
+/// \file rank_context.hpp
+/// The API an application rank programs against — the simulator's analogue
+/// of the MPI interface. Every operation is reported to the attached
+/// CommObserver at the call boundary, which is where IPM's PMPI wrappers
+/// sit in the paper's methodology.
+///
+/// Collectives are implemented over internal point-to-point plumbing
+/// (flat fan-in/fan-out trees); plumbing messages are flagged `internal`
+/// and never reach observers, so the communication-topology graph contains
+/// exactly the application-visible traffic, as in the paper.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hfast/mpisim/communicator.hpp"
+#include "hfast/mpisim/observer.hpp"
+#include "hfast/mpisim/request.hpp"
+#include "hfast/util/random.hpp"
+
+namespace hfast::mpisim {
+
+class Runtime;
+
+class RankContext {
+ public:
+  RankContext(Runtime& rt, Rank rank, CommObserver* observer);
+
+  RankContext(const RankContext&) = delete;
+  RankContext& operator=(const RankContext&) = delete;
+
+  Rank rank() const noexcept { return rank_; }
+  int nranks() const noexcept;
+  const Communicator& world() const noexcept { return world_; }
+
+  /// Deterministic per-rank random stream (seeded from the runtime seed).
+  util::Rng& rng() noexcept { return rng_; }
+
+  // --- point-to-point (comm-relative ranks) -------------------------------
+  void send(const Communicator& comm, Rank dst, std::uint64_t bytes, Tag tag = 0);
+  Request isend(const Communicator& comm, Rank dst, std::uint64_t bytes, Tag tag = 0);
+  /// Blocking receive; returns the matched message (bytes, payload, source).
+  Message recv(const Communicator& comm, Rank src, std::uint64_t bytes, Tag tag = kAnyTag);
+  Request irecv(const Communicator& comm, Rank src, std::uint64_t bytes, Tag tag = kAnyTag);
+  void wait(Request& req);
+  void waitall(std::span<Request> reqs);
+  /// Returns the index of the completed request (MPI_Waitany).
+  std::size_t waitany(std::span<Request> reqs);
+  /// Combined exchange (MPI_Sendrecv): sends to dst, receives from src.
+  Message sendrecv(const Communicator& comm, Rank dst, std::uint64_t send_bytes,
+                   Rank src, std::uint64_t recv_bytes, Tag tag = 0);
+  /// MPI_Test: nonblocking completion check; on success the request is
+  /// consumed exactly as a wait would.
+  bool test(Request& req);
+  /// MPI_Iprobe: is a matching message waiting? Reports source and size
+  /// without receiving it.
+  bool iprobe(const Communicator& comm, Rank src, Tag tag, Rank* src_out = nullptr,
+              std::uint64_t* bytes_out = nullptr);
+
+  /// Payload-carrying send for data-integrity tests.
+  void send_bytes(const Communicator& comm, Rank dst,
+                  std::vector<std::byte> data, Tag tag = 0);
+
+  // --- world-communicator conveniences -------------------------------------
+  void send(Rank dst, std::uint64_t bytes, Tag tag = 0) { send(world_, dst, bytes, tag); }
+  Request isend(Rank dst, std::uint64_t bytes, Tag tag = 0) { return isend(world_, dst, bytes, tag); }
+  Message recv(Rank src, std::uint64_t bytes, Tag tag = kAnyTag) { return recv(world_, src, bytes, tag); }
+  Request irecv(Rank src, std::uint64_t bytes, Tag tag = kAnyTag) { return irecv(world_, src, bytes, tag); }
+  Message sendrecv(Rank dst, std::uint64_t send_bytes, Rank src,
+                   std::uint64_t recv_bytes, Tag tag = 0) {
+    return sendrecv(world_, dst, send_bytes, src, recv_bytes, tag);
+  }
+
+  // --- collectives ----------------------------------------------------------
+  void barrier(const Communicator& comm);
+  void bcast(const Communicator& comm, int root, std::uint64_t bytes);
+  void reduce(const Communicator& comm, int root, std::uint64_t bytes);
+  void allreduce(const Communicator& comm, std::uint64_t bytes);
+  void gather(const Communicator& comm, int root, std::uint64_t bytes);
+  void allgather(const Communicator& comm, std::uint64_t bytes);
+  void scatter(const Communicator& comm, int root, std::uint64_t bytes);
+  void alltoall(const Communicator& comm, std::uint64_t bytes);
+  /// counts[i] = bytes this rank sends to comm rank i.
+  void alltoallv(const Communicator& comm, const std::vector<std::uint64_t>& counts);
+  /// MPI_Reduce_scatter: combine and return each rank's share.
+  void reduce_scatter(const Communicator& comm, std::uint64_t bytes_per_rank);
+  /// MPI_Scan: inclusive prefix combine along comm rank order.
+  void scan(const Communicator& comm, std::uint64_t bytes);
+
+  void barrier() { barrier(world_); }
+  void bcast(int root, std::uint64_t bytes) { bcast(world_, root, bytes); }
+  void reduce(int root, std::uint64_t bytes) { reduce(world_, root, bytes); }
+  void allreduce(std::uint64_t bytes) { allreduce(world_, bytes); }
+  void gather(int root, std::uint64_t bytes) { gather(world_, root, bytes); }
+  void allgather(std::uint64_t bytes) { allgather(world_, bytes); }
+  void scatter(int root, std::uint64_t bytes) { scatter(world_, root, bytes); }
+  void alltoall(std::uint64_t bytes) { alltoall(world_, bytes); }
+
+  /// Value-carrying collectives (data plane exercised in tests/examples).
+  double allreduce_sum(const Communicator& comm, double value);
+  std::vector<double> gather_values(const Communicator& comm, int root, double value);
+  double bcast_value(const Communicator& comm, int root, double value);
+
+  /// MPI_Comm_split: ranks with equal color form a new communicator,
+  /// ordered by (key, world rank).
+  Communicator split(const Communicator& comm, int color, int key);
+
+  // --- IPM-style regions ----------------------------------------------------
+  void region_begin(const std::string& name);
+  void region_end(const std::string& name);
+
+  /// RAII region bracket.
+  class Region {
+   public:
+    Region(RankContext& ctx, std::string name) : ctx_(ctx), name_(std::move(name)) {
+      ctx_.region_begin(name_);
+    }
+    ~Region() { ctx_.region_end(name_); }
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+
+   private:
+    RankContext& ctx_;
+    std::string name_;
+  };
+
+ private:
+  friend class Runtime;
+
+  void deliver_to(Rank dst_world, Message m);
+  Message make_message(const Communicator& comm, Rank dst, Tag tag,
+                       std::uint64_t bytes, bool internal,
+                       std::shared_ptr<const std::vector<std::byte>> payload);
+  void record_call(CallType call, Rank peer, std::uint64_t bytes, double seconds);
+  void record_message(Rank peer_world, std::uint64_t bytes, bool is_send);
+  /// Complete a pending receive request by blocking-matching its pattern.
+  void complete_recv(RequestState& st);
+
+  // Internal (observer-invisible) plumbing used by the collectives.
+  void internal_send(const Communicator& comm, Rank dst, Tag tag,
+                     std::uint64_t bytes,
+                     std::shared_ptr<const std::vector<std::byte>> payload);
+  Message internal_recv(const Communicator& comm, Rank src, Tag tag);
+  /// Per-communicator collective sequence number (consistent across members
+  /// because collectives are called in the same order by every member).
+  Tag next_collective_tag(const Communicator& comm);
+
+  Runtime& rt_;
+  Rank rank_;
+  Communicator world_;
+  CommObserver* observer_;  // may be null
+  util::Rng rng_;
+  std::uint64_t send_seq_ = 0;
+  std::map<int, Tag> collective_seq_;
+};
+
+using RankProgram = std::function<void(RankContext&)>;
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,49 @@
+#pragma once
+/// \file request.hpp
+/// Nonblocking operation handles. Sends complete eagerly at post time;
+/// receives are matched lazily inside wait/waitall/waitany, preserving the
+/// posted order semantics applications rely on.
+
+#include <memory>
+
+#include "hfast/mpisim/message.hpp"
+
+namespace hfast::mpisim {
+
+struct RequestState {
+  bool is_send = false;
+  bool done = false;
+  /// Set once a wait-family call has returned this request; mirrors MPI's
+  /// request deallocation (an inactive request is skipped by waitany and a
+  /// further wait on it is a no-op).
+  bool consumed = false;
+  int comm_id = 0;
+  Rank peer_comm = kAnySource;  ///< posted destination (send) / source (recv)
+  Tag tag = kAnyTag;
+  std::uint64_t posted_bytes = 0;
+  Message matched;  ///< valid for completed receives
+};
+
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool done() const noexcept { return state_ && state_->done; }
+
+  RequestState& state() {
+    HFAST_EXPECTS(state_ != nullptr);
+    return *state_;
+  }
+  const RequestState& state() const {
+    HFAST_EXPECTS(state_ != nullptr);
+    return *state_;
+  }
+
+ private:
+  std::shared_ptr<RequestState> state_;
+};
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,67 @@
+#pragma once
+/// \file runtime.hpp
+/// The job launcher: spawns one thread per rank, wires mailboxes and
+/// observers, propagates the first rank failure to all others, and verifies
+/// at teardown that no unmatched messages were leaked.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hfast/mpisim/mailbox.hpp"
+#include "hfast/mpisim/rank_context.hpp"
+
+namespace hfast::mpisim {
+
+struct RuntimeConfig {
+  int nranks = 4;
+  /// Allocate and transfer real payload bytes for user point-to-point
+  /// traffic (integrity tests); size-only otherwise for speed.
+  bool capture_payload = false;
+  /// Watchdog for blocking operations; expiry is reported as deadlock.
+  std::chrono::milliseconds watchdog{60000};
+  /// Fail the run if unmatched messages remain after all ranks return.
+  bool check_leaks = true;
+  std::uint64_t seed = 0x48464153ULL;  // "HFAS"
+};
+
+struct RunResult {
+  double wall_seconds = 0.0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Observer lookup per rank; may return nullptr. The caller owns the
+  /// observers and must keep them alive for the duration of run().
+  using ObserverFactory = std::function<CommObserver*(Rank)>;
+
+  /// Execute `program` on every rank to completion. Rethrows the first
+  /// rank's exception, if any. May be called repeatedly.
+  RunResult run(const RankProgram& program,
+                const ObserverFactory& observers = {});
+
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  int nranks() const noexcept { return cfg_.nranks; }
+
+  // --- used by RankContext --------------------------------------------------
+  Mailbox& mailbox(Rank r);
+  int allocate_comm_id() { return next_comm_id_.fetch_add(1); }
+  std::atomic<bool>& abort_flag() noexcept { return abort_; }
+
+ private:
+  RuntimeConfig cfg_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> abort_{false};
+  std::atomic<int> next_comm_id_{1};  // 0 is the world communicator
+};
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,64 @@
+#pragma once
+/// \file types.hpp
+/// Core vocabulary of the message-passing simulator: rank/tag types,
+/// wildcards, and the MPI call taxonomy the IPM-style profiler records.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hfast::mpisim {
+
+using Rank = int;
+using Tag = int;
+
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+/// Peer value used in profile records for calls with no single peer
+/// (collectives, waits, barriers).
+inline constexpr Rank kNoPeer = -2;
+
+/// The subset of the MPI interface the runtime implements; mirrors the calls
+/// observed across the paper's six applications (Figure 2).
+enum class CallType : std::uint8_t {
+  kSend,
+  kIsend,
+  kRecv,
+  kIrecv,
+  kSendrecv,
+  kWait,
+  kWaitall,
+  kWaitany,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kAllgather,
+  kScatter,
+  kAlltoall,
+  kAlltoallv,
+  kReduceScatter,
+  kScan,
+  kCommSplit,
+  kTest,
+  kIprobe,
+  kCount  // sentinel
+};
+
+inline constexpr int kNumCallTypes = static_cast<int>(CallType::kCount);
+
+/// "MPI_Isend"-style display name.
+std::string_view call_name(CallType call) noexcept;
+
+/// True for calls that initiate or complete point-to-point traffic
+/// (including the wait family, which the paper counts as PTP activity).
+bool is_point_to_point(CallType call) noexcept;
+
+/// True for collective operations (incl. barrier and comm management).
+bool is_collective(CallType call) noexcept;
+
+/// True for calls that carry a user buffer whose size should contribute to
+/// buffer-size distributions (excludes wait/barrier/split).
+bool carries_buffer(CallType call) noexcept;
+
+}  // namespace hfast::mpisim

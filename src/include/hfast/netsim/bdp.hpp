@@ -1,0 +1,42 @@
+#pragma once
+/// \file bdp.hpp
+/// Bandwidth-delay products (paper §2.4, Table 1): the minimum message size
+/// that can saturate a link, and the N1/2 half-performance message size.
+/// Under the simulator's first-order transfer model
+///     t(s) = latency + s/bandwidth
+/// the message size with effective bandwidth = peak/2 is exactly
+/// latency*bandwidth (the BDP); vendors' N1/2 figures are typically half
+/// the BDP because of pipelining effects our model does not include — both
+/// quantities are reported.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hfast::netsim {
+
+struct InterconnectSpec {
+  std::string system;
+  std::string technology;
+  double mpi_latency_s = 0.0;       ///< one-way MPI latency, seconds
+  double peak_bandwidth_bps = 0.0;  ///< bytes per second, per CPU
+};
+
+/// The five systems of the paper's Table 1.
+std::vector<InterconnectSpec> table1_specs();
+
+/// latency * bandwidth, in bytes.
+double bandwidth_delay_product(const InterconnectSpec& spec);
+
+/// Effective bandwidth for an s-byte non-pipelined message: s / t(s).
+double effective_bandwidth(const InterconnectSpec& spec, std::uint64_t bytes);
+
+/// Smallest message achieving at least `fraction` of peak bandwidth under
+/// the first-order model (closed form: f/(1-f) * BDP).
+double saturation_size(const InterconnectSpec& spec, double fraction);
+
+/// The 2 KB threshold the paper standardizes on, justified by the best
+/// (smallest) BDP across Table 1 hovering near 2 KB.
+std::uint64_t paper_threshold_bytes();
+
+}  // namespace hfast::netsim

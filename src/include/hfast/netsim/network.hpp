@@ -1,0 +1,144 @@
+#pragma once
+/// \file network.hpp
+/// Link-level network models used for trace replay. A transfer streams
+/// through its path cut-through style: at each link the head waits for the
+/// link to go idle, occupies it for the serialization time, and propagates
+/// after the link latency (plus any switching overhead at the entry
+/// element). Link occupancy persists across transfers — that is where
+/// contention comes from.
+///
+/// Three concrete models:
+///  * DirectNetwork  — a DirectTopology (mesh/torus/hypercube/FCN) with one
+///    router per node; every inter-router link is a contended resource.
+///  * FabricNetwork  — a provisioned HFAST fabric; host links and trunks are
+///    contended, circuit hops add propagation only, packet-switch blocks add
+///    per-hop switching overhead.
+///  * FatTreeNetwork — full-bisection fat-tree modeled charitably: only the
+///    endpoint injection/ejection links contend; the interior contributes
+///    the analytic (2l-1)-switch latency. This biases *against* HFAST, so
+///    latency wins reported for HFAST are conservative.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hfast/core/fabric.hpp"
+#include "hfast/topo/fat_tree.hpp"
+#include "hfast/topo/topology.hpp"
+
+namespace hfast::netsim {
+
+struct LinkParams {
+  double latency_s = 50e-9;        ///< propagation + transit per link
+  double bandwidth_bps = 2e9;      ///< serialization rate
+  double switch_overhead_s = 50e-9;  ///< per-hop switching decision cost
+};
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_endpoints() const = 0;
+
+  /// Simulate an s-byte transfer injected at `start`; returns tail-arrival
+  /// time. Mutates link occupancy (call reset() between experiments).
+  virtual double transfer(int src, int dst, std::uint64_t bytes,
+                          double start) = 0;
+
+  virtual void reset() = 0;
+
+  /// Packet switches traversed on the src->dst path (latency accounting
+  /// and the paper's layer-count comparison).
+  virtual int switch_hops(int src, int dst) const = 0;
+};
+
+/// Shared machinery: a vertex/link store with occupancy tracking.
+class LinkNetwork : public Network {
+ public:
+  void reset() override;
+
+ protected:
+  struct Link {
+    int from = -1;
+    int to = -1;
+    LinkParams params;
+    double free_at = 0.0;
+  };
+
+  int add_vertex() { return num_vertices_++; }
+  /// Adds the two directed links of a full-duplex connection; returns the
+  /// forward link id (the reverse is id+1).
+  int add_duplex_link(int a, int b, const LinkParams& params);
+
+  /// Stream a message along the link-id path.
+  double traverse(const std::vector<int>& link_path, std::uint64_t bytes,
+                  double start);
+
+  /// Directed link id from a to b (must exist).
+  int link_between(int a, int b) const;
+
+  int num_vertices_ = 0;
+  std::vector<Link> links_;
+  std::map<std::pair<int, int>, int> link_index_;
+};
+
+class DirectNetwork final : public LinkNetwork {
+ public:
+  DirectNetwork(const topo::DirectTopology& topo, const LinkParams& params);
+
+  std::string name() const override { return "direct:" + topo_.name(); }
+  int num_endpoints() const override { return topo_.num_nodes(); }
+  double transfer(int src, int dst, std::uint64_t bytes, double start) override;
+  int switch_hops(int src, int dst) const override;
+
+ private:
+  const std::vector<int>& path_links(int src, int dst);
+
+  const topo::DirectTopology& topo_;
+  std::map<std::pair<int, int>, std::vector<int>> route_cache_;
+};
+
+class FabricNetwork final : public LinkNetwork {
+ public:
+  /// `circuit` parameterizes node-fabric and trunk links (no switching
+  /// logic: zero overhead is typical); `block_overhead_s` is the packet
+  /// switch decision time per block traversed.
+  FabricNetwork(const core::Fabric& fabric, const LinkParams& circuit,
+                double block_overhead_s);
+
+  std::string name() const override { return "hfast-fabric"; }
+  int num_endpoints() const override { return fabric_.num_nodes(); }
+  double transfer(int src, int dst, std::uint64_t bytes, double start) override;
+  int switch_hops(int src, int dst) const override;
+
+ private:
+  const std::vector<int>& path_links(int src, int dst);
+  int block_vertex(int block_id) const { return fabric_.num_nodes() + block_id; }
+
+  const core::Fabric& fabric_;
+  std::map<std::pair<int, int>, std::vector<int>> route_cache_;
+  std::map<std::pair<int, int>, int> route_hops_;
+};
+
+class FatTreeNetwork final : public LinkNetwork {
+ public:
+  FatTreeNetwork(const topo::FatTree& tree, const LinkParams& params);
+
+  std::string name() const override { return tree_.name(); }
+  int num_endpoints() const override { return tree_.num_procs(); }
+  double transfer(int src, int dst, std::uint64_t bytes, double start) override;
+  int switch_hops(int src, int dst) const override {
+    return tree_.switch_traversals(src, dst);
+  }
+
+ private:
+  topo::FatTree tree_;
+  LinkParams params_;
+  std::vector<int> inject_;  ///< per-endpoint injection link ids
+  std::vector<int> eject_;
+};
+
+}  // namespace hfast::netsim

@@ -1,0 +1,42 @@
+#pragma once
+/// \file replay.hpp
+/// Trace replay on a network model: every rank's recorded operation stream
+/// is re-executed against simulated link state, respecting per-rank program
+/// order and receive->send dependencies (FIFO channel matching, as MPI
+/// guarantees per (source, destination) ordering).
+///
+/// Collectives ride the dedicated low-bandwidth tree network (paper §2.4):
+/// each collective costs a log2(P)-depth tree traversal plus payload
+/// serialization at tree bandwidth, applied to the local rank clock.
+
+#include <cstdint>
+
+#include "hfast/netsim/network.hpp"
+#include "hfast/trace/trace.hpp"
+
+namespace hfast::netsim {
+
+struct ReplayParams {
+  double send_overhead_s = 0.5e-6;  ///< per-op MPI software cost at sender
+  double recv_overhead_s = 0.5e-6;
+  double tree_hop_latency_s = 100e-9;   ///< collective tree per level
+  double tree_bandwidth_bps = 350e6;    ///< low-bandwidth collective network
+};
+
+struct ReplayResult {
+  double makespan_s = 0.0;        ///< max rank completion time
+  double total_recv_wait_s = 0.0; ///< sum of blocking time in receives
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double avg_message_latency_s = 0.0;
+  double max_message_latency_s = 0.0;
+  double avg_switch_hops = 0.0;
+  int max_switch_hops = 0;
+};
+
+/// Replay the point-to-point + collective event stream of `trace` on `net`.
+/// The network's link occupancy is reset first.
+ReplayResult replay(const trace::Trace& trace, Network& net,
+                    const ReplayParams& params = {});
+
+}  // namespace hfast::netsim

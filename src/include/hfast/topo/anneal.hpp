@@ -1,0 +1,38 @@
+#pragma once
+/// \file anneal.hpp
+/// Simulated-annealing refinement of task-to-node embeddings. The paper's
+/// §6 points at search-based optimization (it cites the genetic approach
+/// used for Flat Neighborhood Networks) for improving topology mappings;
+/// annealing over pairwise swaps is the classic, deterministic-under-seed
+/// variant. Objective: byte-weighted hop count (total_byte_hops), the same
+/// quantity evaluate_embedding reports.
+
+#include <cstdint>
+
+#include "hfast/topo/embedding.hpp"
+
+namespace hfast::topo {
+
+struct AnnealParams {
+  std::uint64_t seed = 0xA11EA1ULL;
+  int iterations = 20000;
+  double initial_temperature = 0.0;  ///< 0 = auto (scaled to edge weight)
+  double cooling = 0.999;            ///< geometric temperature decay per step
+};
+
+struct AnnealResult {
+  Embedding embedding;
+  std::uint64_t initial_cost = 0;  ///< byte*hops before refinement
+  std::uint64_t final_cost = 0;
+  int accepted_moves = 0;
+  int improving_moves = 0;
+};
+
+/// Refine `start` by annealed pairwise swaps of node assignments.
+/// Uses topo.distance() (analytic for mesh/torus/hypercube), so the cost of
+/// one move is O(degree of the two swapped tasks).
+AnnealResult anneal_embedding(const graph::CommGraph& g,
+                              const DirectTopology& topo, Embedding start,
+                              const AnnealParams& params = {});
+
+}  // namespace hfast::topo

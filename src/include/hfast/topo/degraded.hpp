@@ -1,0 +1,50 @@
+#pragma once
+/// \file degraded.hpp
+/// Failure modeling for direct networks (paper §1): "individual link or
+/// node failures in a lower-degree interconnection network are far more
+/// disruptive than they are to a fully-interconnected topology". This
+/// wrapper removes failed nodes/links from a base topology's wiring;
+/// routing falls back to BFS around the damage, so dilation and congestion
+/// under failure are measurable with the existing embedding machinery.
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "hfast/topo/topology.hpp"
+
+namespace hfast::topo {
+
+class DegradedTopology final : public DirectTopology {
+ public:
+  explicit DegradedTopology(const DirectTopology& base) : base_(base) {}
+
+  /// Mark a node failed: all its links go down. Traffic endpoints at the
+  /// failed node become unroutable (route() throws), matching the paper's
+  /// point that a mesh failure leaves a hole other traffic must skirt.
+  void fail_node(Node u);
+
+  /// Take down one bidirectional link.
+  void fail_link(Node u, Node v);
+
+  bool node_failed(Node u) const {
+    return failed_nodes_.count(u) != 0;
+  }
+  int num_failed_nodes() const { return static_cast<int>(failed_nodes_.size()); }
+
+  /// Healthy nodes, in id order (for placing jobs around the damage).
+  std::vector<Node> healthy_nodes() const;
+
+  std::string name() const override { return base_.name() + "+faults"; }
+  int num_nodes() const override { return base_.num_nodes(); }
+  std::vector<Node> neighbors(Node u) const override;
+  // distance()/route() inherit the BFS fallback, which is exactly what a
+  // fault-tolerant router must do: no analytic shortcut survives damage.
+
+ private:
+  const DirectTopology& base_;
+  std::set<Node> failed_nodes_;
+  std::set<std::pair<Node, Node>> failed_links_;
+};
+
+}  // namespace hfast::topo

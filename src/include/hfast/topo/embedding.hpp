@@ -1,0 +1,59 @@
+#pragma once
+/// \file embedding.hpp
+/// Mapping an application communication graph onto a fixed direct topology
+/// — the job-placement problem the paper argues fixed networks make hard
+/// (§1). Quality is measured by dilation (hops per byte) and congestion
+/// (hot-link load), computed under each topology's deterministic routing.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/topo/topology.hpp"
+#include "hfast/util/random.hpp"
+
+namespace hfast::topo {
+
+/// task -> node assignment (a permutation when sizes match).
+struct Embedding {
+  std::vector<Node> node_of_task;
+
+  Node operator()(graph::Node task) const {
+    return node_of_task[static_cast<std::size_t>(task)];
+  }
+};
+
+struct EmbeddingQuality {
+  double avg_dilation = 0.0;  ///< mean hops weighted by bytes
+  int max_dilation = 0;       ///< worst hop count over edges
+  std::uint64_t max_link_load = 0;   ///< bytes on the hottest link
+  double avg_link_load = 0.0;        ///< mean bytes over used links
+  std::uint64_t total_byte_hops = 0; ///< sum over edges of bytes*hops
+};
+
+/// Identity placement (task i on node i).
+Embedding identity_embedding(int num_tasks);
+
+/// Uniform random placement (the pessimal scheduler the paper worries
+/// about when topology is unknown at job launch).
+Embedding random_embedding(int num_tasks, int num_nodes, util::Rng& rng);
+
+/// Greedy traffic-aware placement: tasks in decreasing traffic order, each
+/// placed on the free node minimizing byte-weighted distance to already
+/// placed partners.
+Embedding greedy_embedding(const graph::CommGraph& g, const DirectTopology& topo);
+
+/// Same, restricted to a subset of usable nodes (e.g. the healthy nodes of
+/// a DegradedTopology, or the free nodes of a partially occupied machine).
+Embedding greedy_embedding(const graph::CommGraph& g,
+                           const DirectTopology& topo,
+                           const std::vector<Node>& allowed_nodes);
+
+/// Evaluate an embedding under the topology's deterministic routing.
+EmbeddingQuality evaluate_embedding(const graph::CommGraph& g,
+                                    const DirectTopology& topo,
+                                    const Embedding& emb);
+
+}  // namespace hfast::topo

@@ -1,0 +1,64 @@
+#pragma once
+/// \file fat_tree.hpp
+/// Analytic fat-tree model exactly as the paper's §5.3 accounting:
+/// L layers of N-port switches give a fully connected network for
+/// P = 2*(N/2)^L processors; switch ports per processor grow as
+/// 1 + 2(L-1); a worst-case message traverses 2L-1 packet switches.
+/// (The paper's prose quotes "21 layers" for L=6 where the formula gives
+///  11; we follow the formula, see EXPERIMENTS.md.)
+
+#include <cstdint>
+#include <string>
+
+#include "hfast/topo/topology.hpp"
+
+namespace hfast::topo {
+
+class FatTree {
+ public:
+  /// Smallest fat-tree of N-port switches covering `num_procs` endpoints.
+  FatTree(int num_procs, int radix);
+
+  std::string name() const;
+
+  int num_procs() const noexcept { return procs_; }
+  int radix() const noexcept { return radix_; }
+  int levels() const noexcept { return levels_; }
+
+  /// Endpoint capacity 2*(N/2)^L of the constructed tree (>= num_procs).
+  std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// The paper's per-processor switch-port growth rate: 1 + 2(L-1).
+  int ports_per_processor() const noexcept { return 1 + 2 * (levels_ - 1); }
+
+  std::uint64_t total_switch_ports() const noexcept {
+    return static_cast<std::uint64_t>(procs_) *
+           static_cast<std::uint64_t>(ports_per_processor());
+  }
+
+  std::uint64_t num_switches() const noexcept {
+    return (total_switch_ports() + static_cast<std::uint64_t>(radix_) - 1) /
+           static_cast<std::uint64_t>(radix_);
+  }
+
+  /// Packet switches traversed by a message from u to v: 2l-1 where l is
+  /// the lowest level whose subtree contains both endpoints.
+  int switch_traversals(Node u, Node v) const;
+
+  int worst_case_traversals() const noexcept { return 2 * levels_ - 1; }
+
+  /// Level-l subtree endpoint capacity: (N/2)^l below the top, full
+  /// capacity at the top.
+  std::uint64_t subtree_size(int level) const;
+
+  /// Smallest L with num_procs <= 2*(N/2)^L.
+  static int required_levels(int num_procs, int radix);
+
+ private:
+  int procs_;
+  int radix_;
+  int levels_;
+  std::uint64_t capacity_;
+};
+
+}  // namespace hfast::topo

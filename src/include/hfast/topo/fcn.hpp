@@ -1,0 +1,48 @@
+#pragma once
+/// \file fcn.hpp
+/// Fully-connected network: every pair one hop apart. The idealized crossbar
+/// endpoint of the paper's comparison (what fat-trees approximate).
+
+#include "hfast/topo/topology.hpp"
+
+namespace hfast::topo {
+
+class FullyConnected final : public DirectTopology {
+ public:
+  explicit FullyConnected(int num_nodes) : n_(num_nodes) {
+    HFAST_EXPECTS(num_nodes >= 1);
+  }
+
+  std::string name() const override {
+    return "fcn(" + std::to_string(n_) + ")";
+  }
+  int num_nodes() const override { return n_; }
+
+  std::vector<Node> neighbors(Node u) const override {
+    check_node(u);
+    std::vector<Node> out;
+    out.reserve(static_cast<std::size_t>(n_ - 1));
+    for (Node v = 0; v < n_; ++v) {
+      if (v != u) out.push_back(v);
+    }
+    return out;
+  }
+
+  int distance(Node u, Node v) const override {
+    check_node(u);
+    check_node(v);
+    return u == v ? 0 : 1;
+  }
+
+  std::vector<Node> route(Node u, Node v) const override {
+    check_node(u);
+    check_node(v);
+    if (u == v) return {u};
+    return {u, v};
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace hfast::topo

@@ -1,0 +1,27 @@
+#pragma once
+/// \file hypercube.hpp
+/// Binary hypercube: P = 2^d nodes, neighbors differ in one bit. One of the
+/// regular topologies the paper cites for which bounded contractions are
+/// findable algorithmically (§2.2).
+
+#include "hfast/topo/topology.hpp"
+
+namespace hfast::topo {
+
+class Hypercube final : public DirectTopology {
+ public:
+  explicit Hypercube(int dimensions);
+
+  std::string name() const override;
+  int num_nodes() const override { return 1 << dims_; }
+  std::vector<Node> neighbors(Node u) const override;
+  int distance(Node u, Node v) const override;  // Hamming distance
+  std::vector<Node> route(Node u, Node v) const override;  // fix bits LSB-first
+
+  int dimensions() const noexcept { return dims_; }
+
+ private:
+  int dims_;
+};
+
+}  // namespace hfast::topo

@@ -1,0 +1,41 @@
+#pragma once
+/// \file mesh.hpp
+/// k-ary n-dimensional mesh / torus with lexicographic node labeling and
+/// analytic (dimension-ordered) routing.
+
+#include <vector>
+
+#include "hfast/topo/topology.hpp"
+
+namespace hfast::topo {
+
+class MeshTorus final : public DirectTopology {
+ public:
+  /// dims: extent per dimension (e.g. {8,8,4} = 8x8x4 grid).
+  /// wraparound: torus links between first and last coordinate.
+  MeshTorus(std::vector<int> dims, bool wraparound);
+
+  std::string name() const override;
+  int num_nodes() const override { return n_; }
+  std::vector<Node> neighbors(Node u) const override;
+  int distance(Node u, Node v) const override;
+  /// Dimension-order (e-cube) route: resolve dimension 0 first, then 1, ...
+  std::vector<Node> route(Node u, Node v) const override;
+
+  bool is_torus() const noexcept { return wrap_; }
+  const std::vector<int>& dims() const noexcept { return dims_; }
+
+  std::vector<int> coords(Node u) const;
+  Node node_at(const std::vector<int>& coords) const;
+
+  /// Most-cubic shape for p nodes in `ndims` dimensions (greedy
+  /// factorization); used when embedding arbitrary jobs.
+  static std::vector<int> balanced_dims(int p, int ndims);
+
+ private:
+  std::vector<int> dims_;
+  bool wrap_;
+  int n_;
+};
+
+}  // namespace hfast::topo

@@ -1,0 +1,46 @@
+#pragma once
+/// \file topology.hpp
+/// Direct (node-to-node) network topologies: the fixed-degree baselines the
+/// paper compares HFAST against (meshes/torii as in BlueGene/L, RedStorm,
+/// X1; hypercubes; and the fully-connected ideal).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::topo {
+
+using Node = int;
+
+class DirectTopology {
+ public:
+  virtual ~DirectTopology() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_nodes() const = 0;
+
+  /// Distinct direct neighbors of u (the wiring, not the traffic).
+  virtual std::vector<Node> neighbors(Node u) const = 0;
+
+  /// Hop distance between u and v. Default: BFS over neighbors().
+  virtual int distance(Node u, Node v) const;
+
+  /// A shortest route from u to v inclusive of endpoints.
+  /// Default: BFS parent-chasing (deterministic: lowest-id expansion).
+  virtual std::vector<Node> route(Node u, Node v) const;
+
+  /// Per-node link count (radix) of the wiring; used by the cost model.
+  virtual int max_degree() const;
+
+  /// Total directed link count.
+  std::size_t num_links() const;
+
+ protected:
+  void check_node(Node u) const {
+    HFAST_EXPECTS(u >= 0 && u < num_nodes());
+  }
+};
+
+}  // namespace hfast::topo

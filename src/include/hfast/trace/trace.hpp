@@ -1,0 +1,103 @@
+#pragma once
+/// \file trace.hpp
+/// Chronological communication event capture. The paper notes (§6) that a
+/// full chronological trace of production codes is costly but that reduced,
+/// windowed views are not; we record events in the simulator where capture
+/// is free, and provide the windowed reductions on top (see window.hpp).
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hfast/mpisim/observer.hpp"
+
+namespace hfast::trace {
+
+using mpisim::CallType;
+using mpisim::Rank;
+
+enum class EventKind : std::uint8_t {
+  kSend,        ///< point-to-point injection
+  kRecv,        ///< point-to-point completion
+  kCollective,  ///< one collective call (peerless)
+};
+
+struct CommEvent {
+  Rank rank = 0;              ///< world rank this event happened on
+  std::uint64_t op_index = 0; ///< per-rank issue order
+  EventKind kind = EventKind::kSend;
+  CallType call = CallType::kSend;  ///< for collectives: which one
+  Rank peer = mpisim::kNoPeer;      ///< world rank of the other endpoint
+  std::uint64_t bytes = 0;
+  std::uint16_t region = 0;  ///< index into Trace::region_names()
+};
+
+/// Per-rank event recorder (a CommObserver).
+class TraceRecorder final : public mpisim::CommObserver {
+ public:
+  explicit TraceRecorder(Rank rank) : rank_(rank) {}
+
+  void on_call(CallType call, Rank peer, std::uint64_t bytes,
+               double seconds) override;
+  void on_message(Rank peer_world, std::uint64_t bytes, bool is_send) override;
+  void on_region(std::string_view name, bool enter) override;
+
+  const std::vector<CommEvent>& events() const noexcept { return events_; }
+  const std::vector<std::string>& region_names() const noexcept {
+    return region_names_;
+  }
+  Rank rank() const noexcept { return rank_; }
+
+ private:
+  std::uint16_t current_region() const noexcept {
+    return stack_.empty() ? 0 : stack_.back();
+  }
+
+  Rank rank_;
+  std::uint64_t next_op_ = 0;
+  std::vector<CommEvent> events_;
+  std::vector<std::string> region_names_{""};
+  std::vector<std::uint16_t> stack_;
+};
+
+/// A whole job's merged trace.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(int nranks, std::vector<CommEvent> events,
+        std::vector<std::string> region_names);
+
+  /// Merge per-rank recorders (region name tables are re-interned so ids are
+  /// globally consistent).
+  static Trace merge(std::span<const TraceRecorder* const> recorders);
+
+  int nranks() const noexcept { return nranks_; }
+  const std::vector<CommEvent>& events() const noexcept { return events_; }
+  const std::vector<std::string>& region_names() const noexcept {
+    return region_names_;
+  }
+
+  /// Events of one rank, in issue order.
+  std::vector<CommEvent> rank_events(Rank r) const;
+
+  /// Keep only events recorded in the named region ("" keeps everything).
+  Trace filter_region(std::string_view region) const;
+
+  /// Keep only point-to-point events (drop collectives).
+  Trace point_to_point_only() const;
+
+  std::uint64_t total_ptp_bytes() const;
+
+  /// Line-oriented text serialization (stable, diffable).
+  void save_text(std::ostream& os) const;
+  static Trace load_text(std::istream& is);
+
+ private:
+  int nranks_ = 0;
+  std::vector<CommEvent> events_;  // sorted by (rank, op_index)
+  std::vector<std::string> region_names_{""};
+};
+
+}  // namespace hfast::trace

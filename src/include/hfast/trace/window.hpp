@@ -1,0 +1,34 @@
+#pragma once
+/// \file window.hpp
+/// Time-windowed communication analysis (paper §6 future work): split a
+/// trace into windows along each rank's operation stream and compute the
+/// per-window topological requirements. This exposes the phase behaviour
+/// the HFAST reconfiguration engine (hfast/reconfigure) exploits.
+
+#include <cstdint>
+#include <vector>
+
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/trace/trace.hpp"
+
+namespace hfast::trace {
+
+struct WindowStats {
+  std::size_t window = 0;
+  std::uint64_t bytes = 0;
+  int max_tdc = 0;
+  double avg_tdc = 0.0;
+};
+
+/// Per-window communication graphs. Window w of rank r covers the r-events
+/// with op_index in [w*stride_r, (w+1)*stride_r) where stride_r divides that
+/// rank's stream into `num_windows` near-equal parts.
+std::vector<graph::CommGraph> windowed_graphs(const Trace& trace,
+                                              std::size_t num_windows);
+
+/// Reduced TDC series per window, with the given message-size cutoff.
+std::vector<WindowStats> windowed_tdc(const Trace& trace,
+                                      std::size_t num_windows,
+                                      std::uint64_t cutoff_bytes);
+
+}  // namespace hfast::trace

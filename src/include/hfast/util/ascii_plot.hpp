@@ -1,0 +1,32 @@
+#pragma once
+/// \file ascii_plot.hpp
+/// Text rendering of the paper's figures: multi-series line charts
+/// (TDC-vs-cutoff, buffer-size CDFs) and communication-volume heatmaps
+/// (the (a) panels of Figures 5-10). Pure text so bench output is
+/// self-contained in a terminal or log file.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hfast::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> y;  ///< one value per shared x tick
+};
+
+/// Render a multi-series chart: `x_labels.size()` columns, `height` rows.
+/// Each series is drawn with its own glyph; a legend follows the chart.
+std::string line_chart(const std::string& title,
+                       const std::vector<std::string>& x_labels,
+                       const std::vector<Series>& series, int height = 16);
+
+/// Render an NxN matrix as a density heatmap using a character ramp.
+/// Values are normalized to the matrix max; `cells` limits the rendered
+/// resolution (the matrix is downsampled by max-pooling when larger).
+std::string heatmap(const std::string& title,
+                    const std::vector<std::vector<double>>& matrix,
+                    int cells = 64);
+
+}  // namespace hfast::util

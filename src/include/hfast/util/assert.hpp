@@ -1,0 +1,51 @@
+#pragma once
+/// \file assert.hpp
+/// Error handling primitives for the hfast library.
+///
+/// Following the C++ Core Guidelines (I.6/E.12), preconditions are checked
+/// with HFAST_EXPECTS and internal invariants with HFAST_ENSURES /
+/// HFAST_ASSERT. Violations throw hfast::ContractViolation (rather than
+/// aborting) so tests can assert on misuse and long simulation runs can
+/// report a usable diagnostic.
+
+#include <stdexcept>
+#include <string>
+
+namespace hfast {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for runtime failures that are not programming errors
+/// (e.g. malformed trace files, infeasible provisioning requests).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace hfast
+
+#define HFAST_CONTRACT_CHECK(kind, cond, msg)                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hfast::detail::contract_fail(kind, #cond, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)
+
+/// Precondition check: caller passed bad arguments.
+#define HFAST_EXPECTS(cond) HFAST_CONTRACT_CHECK("precondition", cond, "")
+#define HFAST_EXPECTS_MSG(cond, msg) HFAST_CONTRACT_CHECK("precondition", cond, msg)
+
+/// Postcondition / invariant check: internal logic error.
+#define HFAST_ENSURES(cond) HFAST_CONTRACT_CHECK("postcondition", cond, "")
+#define HFAST_ASSERT(cond) HFAST_CONTRACT_CHECK("invariant", cond, "")
+#define HFAST_ASSERT_MSG(cond, msg) HFAST_CONTRACT_CHECK("invariant", cond, msg)

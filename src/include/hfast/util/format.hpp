@@ -1,0 +1,27 @@
+#pragma once
+/// \file format.hpp
+/// Small formatting helpers: human-readable byte counts, fixed-precision
+/// percentages, and axis labels for size sweeps (mirrors the paper's
+/// "128 256 512 1k 2k ... 1024k" cutoff axis).
+
+#include <cstdint>
+#include <string>
+
+namespace hfast::util {
+
+/// "0", "64", "2k", "1MB"-style size label used on cutoff axes.
+std::string size_label(std::uint64_t bytes);
+
+/// "1.9 GB/s" style rate label for bandwidth values in bytes/second.
+std::string rate_label(double bytes_per_second);
+
+/// "46 KB" style label with one decimal when < 10 units.
+std::string bytes_label(double bytes);
+
+/// "12.3%" with the given number of decimals.
+std::string percent_label(double percent, int decimals = 1);
+
+/// "1.1us" / "3.2ms" style label for a duration in seconds.
+std::string time_label(double seconds);
+
+}  // namespace hfast::util

@@ -1,0 +1,65 @@
+#pragma once
+/// \file histogram.hpp
+/// Log-scale histograms and cumulative distributions over message sizes.
+///
+/// The paper's Figures 3 and 4 are "cumulatively histogramed buffer sizes":
+/// for each buffer size s, the percentage of calls whose buffer is <= s.
+/// LogHistogram stores exact (size -> count) pairs (buffer-size alphabets in
+/// real codes are small, exactly why IPM's hashing works) and renders both
+/// the exact CDF and a log-bucketed view.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hfast::util {
+
+/// One point of a cumulative distribution: percentage of calls with
+/// buffer size <= `size`.
+struct CdfPoint {
+  std::uint64_t size = 0;
+  double cumulative_percent = 0.0;
+};
+
+class LogHistogram {
+ public:
+  void add(std::uint64_t size, std::uint64_t count = 1) {
+    counts_[size] += count;
+    total_ += count;
+  }
+
+  void merge(const LogHistogram& other);
+
+  std::uint64_t total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+  /// Exact cumulative distribution over the distinct sizes observed.
+  std::vector<CdfPoint> cdf() const;
+
+  /// Percentage of calls with size <= threshold.
+  double percent_at_or_below(std::uint64_t threshold) const;
+
+  /// Median size weighted by call count (lower median).
+  std::uint64_t median() const;
+
+  std::uint64_t min_size() const;
+  std::uint64_t max_size() const;
+
+  /// Sum over all entries of size * count.
+  std::uint64_t total_bytes() const;
+
+  const std::map<std::uint64_t, std::uint64_t>& raw() const noexcept {
+    return counts_;
+  }
+
+  /// Counts re-bucketed to powers of two, as (bucket upper bound, count).
+  /// Bucket k holds sizes in (2^(k-1), 2^k]; size 0 lands in bucket 0.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pow2_buckets() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hfast::util

@@ -1,0 +1,50 @@
+#pragma once
+/// \file stats.hpp
+/// Scalar statistics used throughout the analysis layer: means, medians,
+/// percentiles, and weighted medians over (value, count) multisets — the
+/// latter is how "median buffer size" in Table 3 is computed without
+/// materializing one element per call.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace hfast::util {
+
+double mean(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+
+/// Percentile via linear interpolation between closest ranks; q in [0,100].
+double percentile(std::vector<double> v, double q);
+
+double median(std::vector<double> v);
+
+/// Median of a multiset given as value -> multiplicity.
+/// With an even total count, returns the lower median (a value that actually
+/// occurs), matching how IPM-style reports quote buffer sizes.
+std::uint64_t weighted_median(const std::map<std::uint64_t, std::uint64_t>& counts);
+
+/// Simple online accumulator (count / min / max / sum).
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    if (n_ == 0 || x < min_) min_ = x;
+    if (n_ == 0 || x > max_) max_ = x;
+    sum_ += x;
+    ++n_;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double mean() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hfast::util

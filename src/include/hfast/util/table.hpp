@@ -1,0 +1,47 @@
+#pragma once
+/// \file table.hpp
+/// Aligned plain-text tables and CSV emission for benchmark/report output.
+/// Every paper table/figure harness prints through this so the rows are
+/// uniform and machine-greppable.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hfast::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  /// Doubles are formatted with `decimals` fraction digits.
+  Table& add(double v, int decimals = 2);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render as an aligned text table with a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180 quoting for cells containing , or ").
+  void print_csv(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner, e.g. "== Table 3: summary ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace hfast::util

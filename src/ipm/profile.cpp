@@ -1,0 +1,121 @@
+#include "hfast/ipm/profile.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "hfast/util/assert.hpp"
+#include "hfast/util/random.hpp"
+
+namespace hfast::ipm {
+
+namespace {
+std::uint64_t hash_key(CallType call, Rank peer, std::uint64_t bytes,
+                       RegionId region) noexcept {
+  std::uint64_t h = static_cast<std::uint64_t>(call);
+  h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer));
+  h = h * 0x100000001b3ULL ^ bytes;
+  h = h * 0x100000001b3ULL ^ region;
+  // Finalize with splitmix to spread low-entropy keys across the table.
+  return util::splitmix64(h);
+}
+}  // namespace
+
+CallTable::CallTable(std::size_t capacity_pow2) {
+  HFAST_EXPECTS_MSG(capacity_pow2 >= 16 && std::has_single_bit(capacity_pow2),
+                    "capacity must be a power of two >= 16");
+  slots_.resize(capacity_pow2);
+}
+
+void CallTable::record(CallType call, Rank peer, std::uint64_t bytes,
+                       RegionId region, double seconds) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = hash_key(call, peer, bytes, region) & mask;
+  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+    Slot& s = slots_[idx];
+    if (!s.used) {
+      // Keep one slot of headroom so lookups always terminate.
+      if (used_ + 1 >= slots_.size()) {
+        ++dropped_;
+        return;
+      }
+      s.used = true;
+      s.call = call;
+      s.peer = peer;
+      s.bytes = bytes;
+      s.region = region;
+      s.count = 1;
+      s.time_total = seconds;
+      s.time_min = seconds;
+      s.time_max = seconds;
+      ++used_;
+      return;
+    }
+    if (s.call == call && s.peer == peer && s.bytes == bytes &&
+        s.region == region) {
+      ++s.count;
+      s.time_total += seconds;
+      s.time_min = std::min(s.time_min, seconds);
+      s.time_max = std::max(s.time_max, seconds);
+      return;
+    }
+    idx = (idx + 1) & mask;
+  }
+  ++dropped_;
+}
+
+std::vector<CallRecord> CallTable::records() const {
+  std::vector<CallRecord> out;
+  out.reserve(used_);
+  for (const Slot& s : slots_) {
+    if (!s.used) continue;
+    out.push_back({s.call, s.peer, s.bytes, s.region, s.count, s.time_total,
+                   s.time_min, s.time_max});
+  }
+  return out;
+}
+
+RankProfile::RankProfile(Rank rank, std::size_t table_capacity)
+    : rank_(rank), table_(table_capacity) {}
+
+void RankProfile::on_call(CallType call, Rank peer, std::uint64_t bytes,
+                          double seconds) {
+  table_.record(call, peer, bytes, current_region(), seconds);
+}
+
+void RankProfile::on_message(Rank peer_world, std::uint64_t bytes,
+                             bool is_send) {
+  if (!is_send) return;  // transfers attributed once, at the sender
+  ++sent_[MsgKey{current_region(), peer_world, bytes}];
+}
+
+void RankProfile::on_region(std::string_view name, bool enter) {
+  if (enter) {
+    region_stack_.push_back(intern_region(name));
+  } else {
+    HFAST_EXPECTS_MSG(!region_stack_.empty(), "region_end without begin");
+    HFAST_EXPECTS_MSG(
+        region_names_[region_stack_.back()] == name,
+        "region_end does not match the innermost open region");
+    region_stack_.pop_back();
+  }
+}
+
+RegionId RankProfile::intern_region(std::string_view name) {
+  for (std::size_t i = 0; i < region_names_.size(); ++i) {
+    if (region_names_[i] == name) return static_cast<RegionId>(i);
+  }
+  region_names_.emplace_back(name);
+  return static_cast<RegionId>(region_names_.size() - 1);
+}
+
+bool RankProfile::find_region(std::string_view name, RegionId& out) const {
+  for (std::size_t i = 0; i < region_names_.size(); ++i) {
+    if (region_names_[i] == name) {
+      out = static_cast<RegionId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hfast::ipm

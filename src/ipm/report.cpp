@@ -1,0 +1,100 @@
+#include "hfast/ipm/report.hpp"
+
+#include <algorithm>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::ipm {
+
+WorkloadProfile WorkloadProfile::merge(
+    std::span<const RankProfile* const> ranks, std::string_view region) {
+  WorkloadProfile out;
+  out.nranks_ = static_cast<int>(ranks.size());
+  out.sent_.resize(ranks.size());
+
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankProfile* rp = ranks[i];
+    HFAST_EXPECTS(rp != nullptr);
+
+    // Resolve the region filter in this rank's interning table. A rank that
+    // never entered the region contributes nothing from it.
+    bool filter = !region.empty();
+    RegionId want = kGlobalRegion;
+    const bool region_known = !filter || rp->find_region(region, want);
+
+    out.dropped_ += rp->calls().dropped();
+
+    for (const CallRecord& rec : rp->call_records()) {
+      if (filter && (!region_known || rec.region != want)) continue;
+      const auto idx = static_cast<std::size_t>(rec.call);
+      out.counts_[idx] += rec.count;
+      out.times_[idx] += rec.time_total;
+      out.total_calls_ += rec.count;
+      if (mpisim::carries_buffer(rec.call)) {
+        if (mpisim::is_point_to_point(rec.call)) {
+          out.ptp_buffers_.add(rec.bytes, rec.count);
+        } else {
+          out.coll_buffers_.add(rec.bytes, rec.count);
+        }
+      }
+    }
+
+    for (const auto& [key, count] : rp->sent_messages()) {
+      if (filter && (!region_known || key.region != want)) continue;
+      out.sent_[i][{key.peer, key.bytes}] += count;
+    }
+  }
+  return out;
+}
+
+std::uint64_t WorkloadProfile::calls_of(CallType call) const {
+  return counts_[static_cast<std::size_t>(call)];
+}
+
+double WorkloadProfile::time_of(CallType call) const {
+  return times_[static_cast<std::size_t>(call)];
+}
+
+std::vector<CallBreakdownEntry> WorkloadProfile::call_breakdown(
+    double min_percent) const {
+  std::vector<CallBreakdownEntry> entries;
+  if (total_calls_ == 0) return entries;
+  std::uint64_t other = 0;
+  for (int c = 0; c < mpisim::kNumCallTypes; ++c) {
+    const std::uint64_t n = counts_[static_cast<std::size_t>(c)];
+    if (n == 0) continue;
+    const double pct =
+        100.0 * static_cast<double>(n) / static_cast<double>(total_calls_);
+    if (pct < min_percent) {
+      other += n;
+    } else {
+      entries.push_back({static_cast<CallType>(c), n, pct});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.count > b.count; });
+  if (other > 0) {
+    entries.push_back({CallType::kCount, other,
+                       100.0 * static_cast<double>(other) /
+                           static_cast<double>(total_calls_)});
+  }
+  return entries;
+}
+
+double WorkloadProfile::ptp_call_percent() const {
+  if (total_calls_ == 0) return 0.0;
+  std::uint64_t ptp = 0;
+  for (int c = 0; c < mpisim::kNumCallTypes; ++c) {
+    if (mpisim::is_point_to_point(static_cast<CallType>(c))) {
+      ptp += counts_[static_cast<std::size_t>(c)];
+    }
+  }
+  return 100.0 * static_cast<double>(ptp) / static_cast<double>(total_calls_);
+}
+
+double WorkloadProfile::collective_call_percent() const {
+  if (total_calls_ == 0) return 0.0;
+  return 100.0 - ptp_call_percent();
+}
+
+}  // namespace hfast::ipm

@@ -1,0 +1,91 @@
+#include "hfast/ipm/text_report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "hfast/util/format.hpp"
+#include "hfast/util/table.hpp"
+
+namespace hfast::ipm {
+
+void write_workload_section(std::ostream& os, const WorkloadProfile& workload,
+                            const std::string& title,
+                            const TextReportOptions& options) {
+  util::print_banner(os, title);
+  if (workload.total_calls() == 0) {
+    os << "(no communication recorded)\n";
+    return;
+  }
+
+  util::Table t({"call", "count", "% calls", "time (s)"});
+  for (const auto& entry :
+       workload.call_breakdown(options.min_call_percent)) {
+    const bool other = entry.call == mpisim::CallType::kCount;
+    t.row()
+        .add(other ? "(other)" : std::string(mpisim::call_name(entry.call)))
+        .add(entry.count)
+        .add(util::percent_label(entry.percent))
+        .add(other ? 0.0 : workload.time_of(entry.call), 4);
+  }
+  t.print(os);
+
+  os << "point-to-point: " << util::percent_label(workload.ptp_call_percent())
+     << " of calls";
+  if (!workload.ptp_buffers().empty()) {
+    os << ", median buffer "
+       << util::size_label(workload.median_ptp_buffer()) << ", total "
+       << util::bytes_label(
+              static_cast<double>(workload.ptp_buffers().total_bytes()));
+  }
+  os << '\n';
+  os << "collectives:    "
+     << util::percent_label(workload.collective_call_percent()) << " of calls";
+  if (!workload.collective_buffers().empty()) {
+    os << ", median buffer "
+       << util::size_label(workload.median_collective_buffer());
+  }
+  os << '\n';
+  if (workload.dropped() > 0) {
+    os << "WARNING: " << workload.dropped()
+       << " call signatures dropped (fixed-footprint hash overflow)\n";
+  }
+}
+
+void write_text_report(std::ostream& os,
+                       std::span<const RankProfile* const> ranks,
+                       const TextReportOptions& options) {
+  os << "##IPMv0-model################################################\n";
+  os << "# job: " << options.job_name << "  ranks: " << ranks.size() << '\n';
+
+  // Hash-table health across ranks.
+  std::size_t entries = 0, capacity = 0;
+  std::uint64_t dropped = 0;
+  for (const RankProfile* r : ranks) {
+    entries += r->calls().size();
+    capacity += r->calls().capacity();
+    dropped += r->calls().dropped();
+  }
+  os << "# hash: " << entries << '/' << capacity << " slots used";
+  if (dropped > 0) os << ", " << dropped << " dropped";
+  os << '\n';
+
+  const auto whole = WorkloadProfile::merge(ranks, "");
+  write_workload_section(os, whole, "whole job", options);
+
+  if (options.per_region) {
+    std::set<std::string> regions;
+    for (const RankProfile* r : ranks) {
+      for (const std::string& name : r->region_names()) {
+        if (!name.empty()) regions.insert(name);
+      }
+    }
+    for (const std::string& region : regions) {
+      const auto filtered = WorkloadProfile::merge(ranks, region);
+      write_workload_section(os, filtered, "region: " + region, options);
+    }
+  }
+  os << "#############################################################\n";
+}
+
+}  // namespace hfast::ipm

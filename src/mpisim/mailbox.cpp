@@ -1,0 +1,155 @@
+#include "hfast/mpisim/mailbox.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::mpisim {
+
+void Mailbox::deliver(Message m) {
+  {
+    std::lock_guard lock(mutex_);
+    const BucketKey key{m.comm_id, m.internal, m.src_comm};
+    buckets_[key].push_back({std::move(m), next_arrival_++});
+    ++pending_;
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::match_locked(int comm_id, Rank src, Tag tag, bool internal,
+                           Message& out) {
+  auto take = [&](std::deque<Arrived>& q,
+                  std::deque<Arrived>::iterator it) {
+    out = std::move(it->msg);
+    q.erase(it);
+    --pending_;
+    return true;
+  };
+
+  if (src != kAnySource) {
+    const auto bit = buckets_.find(BucketKey{comm_id, internal, src});
+    if (bit == buckets_.end()) return false;
+    auto& q = bit->second;
+    // FIFO within the channel; tag selection respects arrival order.
+    const auto it =
+        std::find_if(q.begin(), q.end(), [&](const Arrived& a) {
+          return tag == kAnyTag || a.msg.tag == tag;
+        });
+    if (it == q.end()) return false;
+    return take(q, it);
+  }
+
+  // Wildcard source: earliest-arrived matching message across this
+  // communicator's buckets.
+  std::deque<Arrived>* best_q = nullptr;
+  std::deque<Arrived>::iterator best_it;
+  std::uint64_t best_arrival = ~0ULL;
+  const BucketKey lo{comm_id, internal, kAnySource};  // kAnySource = -1 < ranks
+  for (auto bit = buckets_.lower_bound(lo);
+       bit != buckets_.end() && std::get<0>(bit->first) == comm_id &&
+       std::get<1>(bit->first) == internal;
+       ++bit) {
+    auto& q = bit->second;
+    const auto it =
+        std::find_if(q.begin(), q.end(), [&](const Arrived& a) {
+          return tag == kAnyTag || a.msg.tag == tag;
+        });
+    if (it != q.end() && it->arrival < best_arrival) {
+      best_arrival = it->arrival;
+      best_q = &q;
+      best_it = it;
+    }
+  }
+  if (best_q == nullptr) return false;
+  return take(*best_q, best_it);
+}
+
+bool Mailbox::try_match(int comm_id, Rank src, Tag tag, bool internal,
+                        Message& out) {
+  std::lock_guard lock(mutex_);
+  return match_locked(comm_id, src, tag, internal, out);
+}
+
+bool Mailbox::peek(int comm_id, Rank src, Tag tag, bool internal,
+                   Rank& src_out, std::uint64_t& bytes_out) const {
+  std::lock_guard lock(mutex_);
+  const Arrived* best = nullptr;
+  auto consider = [&](const std::deque<Arrived>& q) {
+    const auto it =
+        std::find_if(q.begin(), q.end(), [&](const Arrived& a) {
+          return tag == kAnyTag || a.msg.tag == tag;
+        });
+    if (it != q.end() && (best == nullptr || it->arrival < best->arrival)) {
+      best = &*it;
+    }
+  };
+  if (src != kAnySource) {
+    const auto bit = buckets_.find(BucketKey{comm_id, internal, src});
+    if (bit != buckets_.end()) consider(bit->second);
+  } else {
+    const BucketKey lo{comm_id, internal, kAnySource};
+    for (auto bit = buckets_.lower_bound(lo);
+         bit != buckets_.end() && std::get<0>(bit->first) == comm_id &&
+         std::get<1>(bit->first) == internal;
+         ++bit) {
+      consider(bit->second);
+    }
+  }
+  if (best == nullptr) return false;
+  src_out = best->msg.src_comm;
+  bytes_out = best->msg.bytes;
+  return true;
+}
+
+void Mailbox::check_abort_locked() const {
+  if (abort_flag_ != nullptr && abort_flag_->load(std::memory_order_relaxed)) {
+    throw Error("mpisim: job aborted by another rank's failure");
+  }
+}
+
+Message Mailbox::match_blocking(int comm_id, Rank src, Tag tag, bool internal) {
+  std::unique_lock lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  for (;;) {
+    check_abort_locked();
+    Message out;
+    if (match_locked(comm_id, src, tag, internal, out)) return out;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      check_abort_locked();
+      std::ostringstream os;
+      os << "mpisim: receive watchdog expired (comm=" << comm_id
+         << " src=" << src << " tag=" << tag << " internal=" << internal
+         << ", " << pending_ << " unmatched messages queued)"
+         << " — likely application deadlock";
+      throw Error(os.str());
+    }
+  }
+}
+
+std::uint64_t Mailbox::version() const {
+  std::lock_guard lock(mutex_);
+  return version_;
+}
+
+void Mailbox::wait_version_change(std::uint64_t seen) {
+  std::unique_lock lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (version_ == seen) {
+    check_abort_locked();
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      check_abort_locked();
+      throw Error("mpisim: waitany watchdog expired — likely deadlock");
+    }
+  }
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_;
+}
+
+}  // namespace hfast::mpisim

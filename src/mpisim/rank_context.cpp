@@ -1,0 +1,619 @@
+#include "hfast/mpisim/rank_context.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "hfast/mpisim/runtime.hpp"
+
+namespace hfast::mpisim {
+
+namespace {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+std::shared_ptr<const std::vector<std::byte>> pack_i64(
+    const std::vector<std::int64_t>& values) {
+  auto buf = std::make_shared<std::vector<std::byte>>(values.size() * 8);
+  std::memcpy(buf->data(), values.data(), buf->size());
+  return buf;
+}
+
+std::vector<std::int64_t> unpack_i64(const Message& m) {
+  HFAST_ASSERT(m.payload != nullptr && m.payload->size() % 8 == 0);
+  std::vector<std::int64_t> values(m.payload->size() / 8);
+  std::memcpy(values.data(), m.payload->data(), m.payload->size());
+  return values;
+}
+
+std::shared_ptr<const std::vector<std::byte>> pack_f64(double v) {
+  auto buf = std::make_shared<std::vector<std::byte>>(8);
+  std::memcpy(buf->data(), &v, 8);
+  return buf;
+}
+
+double unpack_f64(const Message& m) {
+  HFAST_ASSERT(m.payload != nullptr && m.payload->size() == 8);
+  double v = 0.0;
+  std::memcpy(&v, m.payload->data(), 8);
+  return v;
+}
+
+}  // namespace
+
+RankContext::RankContext(Runtime& rt, Rank rank, CommObserver* observer)
+    : rt_(rt), rank_(rank), observer_(observer), rng_(0) {
+  std::vector<Rank> members(static_cast<std::size_t>(rt.nranks()));
+  for (int r = 0; r < rt.nranks(); ++r) members[static_cast<std::size_t>(r)] = r;
+  world_ = Communicator(0, std::move(members), rank);
+  // Distinct deterministic stream per rank, stable across runs.
+  std::uint64_t s = rt.config().seed;
+  rng_.reseed(util::splitmix64(s) ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(rank) + 1)));
+}
+
+int RankContext::nranks() const noexcept { return rt_.nranks(); }
+
+void RankContext::record_call(CallType call, Rank peer, std::uint64_t bytes,
+                              double seconds) {
+  if (observer_ != nullptr) observer_->on_call(call, peer, bytes, seconds);
+}
+
+void RankContext::record_message(Rank peer_world, std::uint64_t bytes,
+                                 bool is_send) {
+  if (observer_ != nullptr) observer_->on_message(peer_world, bytes, is_send);
+}
+
+void RankContext::deliver_to(Rank dst_world, Message m) {
+  rt_.mailbox(dst_world).deliver(std::move(m));
+}
+
+Message RankContext::make_message(
+    const Communicator& comm, Rank dst, Tag tag, std::uint64_t bytes,
+    bool internal, std::shared_ptr<const std::vector<std::byte>> payload) {
+  HFAST_EXPECTS_MSG(dst >= 0 && dst < comm.size(), "destination out of range");
+  Message m;
+  m.comm_id = comm.id();
+  m.src_world = rank_;
+  m.dst_world = comm.world_rank(dst);
+  m.src_comm = comm.rank();
+  m.tag = tag;
+  m.internal = internal;
+  m.bytes = bytes;
+  m.seq = send_seq_++;
+  if (payload != nullptr) {
+    m.payload = std::move(payload);
+  } else if (!internal && rt_.config().capture_payload && bytes > 0) {
+    auto buf = std::make_shared<std::vector<std::byte>>(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      (*buf)[i] = static_cast<std::byte>((i + m.seq) & 0xff);
+    }
+    m.payload = std::move(buf);
+  }
+  return m;
+}
+
+// --- point-to-point ----------------------------------------------------------
+
+void RankContext::send(const Communicator& comm, Rank dst, std::uint64_t bytes,
+                       Tag tag) {
+  Timer t;
+  Message m = make_message(comm, dst, tag, bytes, /*internal=*/false, nullptr);
+  const Rank dst_world = m.dst_world;
+  deliver_to(dst_world, std::move(m));
+  record_message(dst_world, bytes, /*is_send=*/true);
+  record_call(CallType::kSend, dst, bytes, t.elapsed());
+}
+
+void RankContext::send_bytes(const Communicator& comm, Rank dst,
+                             std::vector<std::byte> data, Tag tag) {
+  Timer t;
+  const std::uint64_t bytes = data.size();
+  auto payload =
+      std::make_shared<const std::vector<std::byte>>(std::move(data));
+  Message m = make_message(comm, dst, tag, bytes, /*internal=*/false, payload);
+  const Rank dst_world = m.dst_world;
+  deliver_to(dst_world, std::move(m));
+  record_message(dst_world, bytes, /*is_send=*/true);
+  record_call(CallType::kSend, dst, bytes, t.elapsed());
+}
+
+Request RankContext::isend(const Communicator& comm, Rank dst,
+                           std::uint64_t bytes, Tag tag) {
+  Timer t;
+  Message m = make_message(comm, dst, tag, bytes, /*internal=*/false, nullptr);
+  const Rank dst_world = m.dst_world;
+  deliver_to(dst_world, std::move(m));
+  record_message(dst_world, bytes, /*is_send=*/true);
+  auto st = std::make_shared<RequestState>();
+  st->is_send = true;
+  st->done = true;  // eager completion
+  st->comm_id = comm.id();
+  st->peer_comm = dst;
+  st->tag = tag;
+  st->posted_bytes = bytes;
+  record_call(CallType::kIsend, dst, bytes, t.elapsed());
+  return Request(std::move(st));
+}
+
+Message RankContext::recv(const Communicator& comm, Rank src,
+                          std::uint64_t bytes, Tag tag) {
+  Timer t;
+  Message m = rt_.mailbox(rank_).match_blocking(comm.id(), src, tag,
+                                                /*internal=*/false);
+  record_message(m.src_world, m.bytes, /*is_send=*/false);
+  record_call(CallType::kRecv, src, bytes, t.elapsed());
+  return m;
+}
+
+Request RankContext::irecv(const Communicator& comm, Rank src,
+                           std::uint64_t bytes, Tag tag) {
+  Timer t;
+  auto st = std::make_shared<RequestState>();
+  st->is_send = false;
+  st->done = false;
+  st->comm_id = comm.id();
+  st->peer_comm = src;
+  st->tag = tag;
+  st->posted_bytes = bytes;
+  record_call(CallType::kIrecv, src, bytes, t.elapsed());
+  return Request(std::move(st));
+}
+
+void RankContext::complete_recv(RequestState& st) {
+  HFAST_ASSERT(!st.is_send && !st.done);
+  st.matched = rt_.mailbox(rank_).match_blocking(st.comm_id, st.peer_comm,
+                                                 st.tag, /*internal=*/false);
+  st.done = true;
+  record_message(st.matched.src_world, st.matched.bytes, /*is_send=*/false);
+}
+
+void RankContext::wait(Request& req) {
+  Timer t;
+  HFAST_EXPECTS_MSG(req.valid(), "wait on an empty request");
+  RequestState& st = req.state();
+  if (!st.done && !st.consumed) complete_recv(st);
+  st.consumed = true;  // further waits are no-ops (MPI_REQUEST_NULL)
+  record_call(CallType::kWait, kNoPeer, 0, t.elapsed());
+}
+
+void RankContext::waitall(std::span<Request> reqs) {
+  Timer t;
+  for (Request& r : reqs) {
+    HFAST_EXPECTS_MSG(r.valid(), "waitall on an empty request");
+    RequestState& st = r.state();
+    if (!st.done && !st.consumed) complete_recv(st);
+    st.consumed = true;
+  }
+  record_call(CallType::kWaitall, kNoPeer, 0, t.elapsed());
+}
+
+std::size_t RankContext::waitany(std::span<Request> reqs) {
+  Timer t;
+  HFAST_EXPECTS_MSG(!reqs.empty(), "waitany on an empty request list");
+  Mailbox& mb = rt_.mailbox(rank_);
+  for (;;) {
+    const std::uint64_t version = mb.version();
+    bool any_active = false;
+    // A completed-but-unconsumed request (eager sends, receives finished by
+    // an earlier probe) satisfies waitany immediately.
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      HFAST_EXPECTS_MSG(reqs[i].valid(), "waitany on an empty request");
+      RequestState& st = reqs[i].state();
+      if (st.consumed) continue;
+      any_active = true;
+      if (st.done) {
+        st.consumed = true;
+        record_call(CallType::kWaitany, kNoPeer, 0, t.elapsed());
+        return i;
+      }
+    }
+    HFAST_EXPECTS_MSG(any_active, "waitany with no active requests");
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      RequestState& st = reqs[i].state();
+      if (st.consumed || st.done) continue;
+      if (mb.try_match(st.comm_id, st.peer_comm, st.tag, /*internal=*/false,
+                       st.matched)) {
+        st.done = true;
+        st.consumed = true;
+        record_message(st.matched.src_world, st.matched.bytes,
+                       /*is_send=*/false);
+        record_call(CallType::kWaitany, kNoPeer, 0, t.elapsed());
+        return i;
+      }
+    }
+    mb.wait_version_change(version);
+  }
+}
+
+Message RankContext::sendrecv(const Communicator& comm, Rank dst,
+                              std::uint64_t send_bytes, Rank src,
+                              std::uint64_t recv_bytes, Tag tag) {
+  Timer t;
+  Message out = make_message(comm, dst, tag, send_bytes, /*internal=*/false,
+                             nullptr);
+  const Rank dst_world = out.dst_world;
+  deliver_to(dst_world, std::move(out));
+  record_message(dst_world, send_bytes, /*is_send=*/true);
+  Message in = rt_.mailbox(rank_).match_blocking(comm.id(), src, tag,
+                                                 /*internal=*/false);
+  record_message(in.src_world, in.bytes, /*is_send=*/false);
+  (void)recv_bytes;
+  record_call(CallType::kSendrecv, dst, send_bytes, t.elapsed());
+  return in;
+}
+
+bool RankContext::test(Request& req) {
+  Timer t;
+  HFAST_EXPECTS_MSG(req.valid(), "test on an empty request");
+  RequestState& st = req.state();
+  bool complete = false;
+  if (st.consumed) {
+    complete = true;  // MPI_REQUEST_NULL: flag=true, no-op
+  } else if (st.done) {
+    st.consumed = true;
+    complete = true;
+  } else if (rt_.mailbox(rank_).try_match(st.comm_id, st.peer_comm, st.tag,
+                                          /*internal=*/false, st.matched)) {
+    st.done = true;
+    st.consumed = true;
+    record_message(st.matched.src_world, st.matched.bytes, /*is_send=*/false);
+    complete = true;
+  }
+  record_call(CallType::kTest, kNoPeer, 0, t.elapsed());
+  return complete;
+}
+
+bool RankContext::iprobe(const Communicator& comm, Rank src, Tag tag,
+                         Rank* src_out, std::uint64_t* bytes_out) {
+  Timer t;
+  Rank s = kAnySource;
+  std::uint64_t b = 0;
+  const bool found =
+      rt_.mailbox(rank_).peek(comm.id(), src, tag, /*internal=*/false, s, b);
+  if (found) {
+    if (src_out != nullptr) *src_out = s;
+    if (bytes_out != nullptr) *bytes_out = b;
+  }
+  record_call(CallType::kIprobe, src, 0, t.elapsed());
+  return found;
+}
+
+// --- collective plumbing ------------------------------------------------------
+
+Tag RankContext::next_collective_tag(const Communicator& comm) {
+  return collective_seq_[comm.id()]++;
+}
+
+void RankContext::internal_send(
+    const Communicator& comm, Rank dst, Tag tag, std::uint64_t bytes,
+    std::shared_ptr<const std::vector<std::byte>> payload) {
+  Message m =
+      make_message(comm, dst, tag, bytes, /*internal=*/true, std::move(payload));
+  deliver_to(m.dst_world, std::move(m));
+}
+
+Message RankContext::internal_recv(const Communicator& comm, Rank src, Tag tag) {
+  return rt_.mailbox(rank_).match_blocking(comm.id(), src, tag,
+                                           /*internal=*/true);
+}
+
+namespace {
+// Fan-in / fan-out shapes shared by all collectives. Kept free so the
+// collective bodies below read as their communication pattern.
+}  // namespace
+
+void RankContext::barrier(const Communicator& comm) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  const int me = comm.rank();
+  if (me == 0) {
+    for (int i = 1; i < comm.size(); ++i) {
+      (void)internal_recv(comm, kAnySource, tag);
+    }
+    for (int i = 1; i < comm.size(); ++i) {
+      internal_send(comm, i, tag, 0, nullptr);
+    }
+  } else {
+    internal_send(comm, 0, tag, 0, nullptr);
+    (void)internal_recv(comm, 0, tag);
+  }
+  record_call(CallType::kBarrier, kNoPeer, 0, t.elapsed());
+}
+
+void RankContext::bcast(const Communicator& comm, int root, std::uint64_t bytes) {
+  Timer t;
+  HFAST_EXPECTS(root >= 0 && root < comm.size());
+  const Tag tag = next_collective_tag(comm);
+  if (comm.rank() == root) {
+    for (int i = 0; i < comm.size(); ++i) {
+      if (i != root) internal_send(comm, i, tag, bytes, nullptr);
+    }
+  } else {
+    (void)internal_recv(comm, root, tag);
+  }
+  record_call(CallType::kBcast, kNoPeer, bytes, t.elapsed());
+}
+
+void RankContext::reduce(const Communicator& comm, int root, std::uint64_t bytes) {
+  Timer t;
+  HFAST_EXPECTS(root >= 0 && root < comm.size());
+  const Tag tag = next_collective_tag(comm);
+  if (comm.rank() == root) {
+    for (int i = 1; i < comm.size(); ++i) {
+      (void)internal_recv(comm, kAnySource, tag);
+    }
+  } else {
+    internal_send(comm, root, tag, bytes, nullptr);
+  }
+  record_call(CallType::kReduce, kNoPeer, bytes, t.elapsed());
+}
+
+void RankContext::allreduce(const Communicator& comm, std::uint64_t bytes) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  if (comm.rank() == 0) {
+    for (int i = 1; i < comm.size(); ++i) {
+      (void)internal_recv(comm, kAnySource, tag);
+    }
+    for (int i = 1; i < comm.size(); ++i) {
+      internal_send(comm, i, tag, bytes, nullptr);
+    }
+  } else {
+    internal_send(comm, 0, tag, bytes, nullptr);
+    (void)internal_recv(comm, 0, tag);
+  }
+  record_call(CallType::kAllreduce, kNoPeer, bytes, t.elapsed());
+}
+
+void RankContext::gather(const Communicator& comm, int root, std::uint64_t bytes) {
+  Timer t;
+  HFAST_EXPECTS(root >= 0 && root < comm.size());
+  const Tag tag = next_collective_tag(comm);
+  if (comm.rank() == root) {
+    for (int i = 1; i < comm.size(); ++i) {
+      (void)internal_recv(comm, kAnySource, tag);
+    }
+  } else {
+    internal_send(comm, root, tag, bytes, nullptr);
+  }
+  record_call(CallType::kGather, kNoPeer, bytes, t.elapsed());
+}
+
+void RankContext::allgather(const Communicator& comm, std::uint64_t bytes) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  const auto total =
+      bytes * static_cast<std::uint64_t>(comm.size());
+  if (comm.rank() == 0) {
+    for (int i = 1; i < comm.size(); ++i) {
+      (void)internal_recv(comm, kAnySource, tag);
+    }
+    for (int i = 1; i < comm.size(); ++i) {
+      internal_send(comm, i, tag, total, nullptr);
+    }
+  } else {
+    internal_send(comm, 0, tag, bytes, nullptr);
+    (void)internal_recv(comm, 0, tag);
+  }
+  record_call(CallType::kAllgather, kNoPeer, bytes, t.elapsed());
+}
+
+void RankContext::scatter(const Communicator& comm, int root, std::uint64_t bytes) {
+  Timer t;
+  HFAST_EXPECTS(root >= 0 && root < comm.size());
+  const Tag tag = next_collective_tag(comm);
+  if (comm.rank() == root) {
+    for (int i = 0; i < comm.size(); ++i) {
+      if (i != root) internal_send(comm, i, tag, bytes, nullptr);
+    }
+  } else {
+    (void)internal_recv(comm, root, tag);
+  }
+  record_call(CallType::kScatter, kNoPeer, bytes, t.elapsed());
+}
+
+void RankContext::alltoall(const Communicator& comm, std::uint64_t bytes) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  for (int i = 0; i < comm.size(); ++i) {
+    if (i != comm.rank()) internal_send(comm, i, tag, bytes, nullptr);
+  }
+  for (int i = 0; i < comm.size(); ++i) {
+    if (i != comm.rank()) (void)internal_recv(comm, kAnySource, tag);
+  }
+  record_call(CallType::kAlltoall, kNoPeer, bytes, t.elapsed());
+}
+
+void RankContext::alltoallv(const Communicator& comm,
+                            const std::vector<std::uint64_t>& counts) {
+  Timer t;
+  HFAST_EXPECTS_MSG(counts.size() == static_cast<std::size_t>(comm.size()),
+                    "alltoallv counts must have one entry per comm rank");
+  const Tag tag = next_collective_tag(comm);
+  std::uint64_t total = 0;
+  for (int i = 0; i < comm.size(); ++i) {
+    total += counts[static_cast<std::size_t>(i)];
+    if (i != comm.rank()) {
+      internal_send(comm, i, tag, counts[static_cast<std::size_t>(i)], nullptr);
+    }
+  }
+  for (int i = 0; i < comm.size(); ++i) {
+    if (i != comm.rank()) (void)internal_recv(comm, kAnySource, tag);
+  }
+  record_call(CallType::kAlltoallv, kNoPeer, total, t.elapsed());
+}
+
+void RankContext::reduce_scatter(const Communicator& comm,
+                                 std::uint64_t bytes_per_rank) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  // Combine at comm rank 0 (fan-in of the full vector), then scatter each
+  // rank its share.
+  const auto total =
+      bytes_per_rank * static_cast<std::uint64_t>(comm.size());
+  if (comm.rank() == 0) {
+    for (int i = 1; i < comm.size(); ++i) {
+      (void)internal_recv(comm, kAnySource, tag);
+    }
+    for (int i = 1; i < comm.size(); ++i) {
+      internal_send(comm, i, tag, bytes_per_rank, nullptr);
+    }
+  } else {
+    internal_send(comm, 0, tag, total, nullptr);
+    (void)internal_recv(comm, 0, tag);
+  }
+  record_call(CallType::kReduceScatter, kNoPeer, bytes_per_rank, t.elapsed());
+}
+
+void RankContext::scan(const Communicator& comm, std::uint64_t bytes) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  // Inclusive prefix: a chain along comm rank order.
+  if (comm.rank() > 0) {
+    (void)internal_recv(comm, comm.rank() - 1, tag);
+  }
+  if (comm.rank() + 1 < comm.size()) {
+    internal_send(comm, comm.rank() + 1, tag, bytes, nullptr);
+  }
+  record_call(CallType::kScan, kNoPeer, bytes, t.elapsed());
+}
+
+double RankContext::allreduce_sum(const Communicator& comm, double value) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  double result = value;
+  if (comm.rank() == 0) {
+    for (int i = 1; i < comm.size(); ++i) {
+      result += unpack_f64(internal_recv(comm, kAnySource, tag));
+    }
+    for (int i = 1; i < comm.size(); ++i) {
+      internal_send(comm, i, tag, 8, pack_f64(result));
+    }
+  } else {
+    internal_send(comm, 0, tag, 8, pack_f64(value));
+    result = unpack_f64(internal_recv(comm, 0, tag));
+  }
+  record_call(CallType::kAllreduce, kNoPeer, 8, t.elapsed());
+  return result;
+}
+
+std::vector<double> RankContext::gather_values(const Communicator& comm,
+                                               int root, double value) {
+  Timer t;
+  HFAST_EXPECTS(root >= 0 && root < comm.size());
+  const Tag tag = next_collective_tag(comm);
+  std::vector<double> out;
+  if (comm.rank() == root) {
+    out.assign(static_cast<std::size_t>(comm.size()), 0.0);
+    out[static_cast<std::size_t>(root)] = value;
+    for (int i = 1; i < comm.size(); ++i) {
+      Message m = internal_recv(comm, kAnySource, tag);
+      out[static_cast<std::size_t>(m.src_comm)] = unpack_f64(m);
+    }
+  } else {
+    internal_send(comm, root, tag, 8, pack_f64(value));
+  }
+  record_call(CallType::kGather, kNoPeer, 8, t.elapsed());
+  return out;
+}
+
+double RankContext::bcast_value(const Communicator& comm, int root, double value) {
+  Timer t;
+  HFAST_EXPECTS(root >= 0 && root < comm.size());
+  const Tag tag = next_collective_tag(comm);
+  double result = value;
+  if (comm.rank() == root) {
+    for (int i = 0; i < comm.size(); ++i) {
+      if (i != root) internal_send(comm, i, tag, 8, pack_f64(value));
+    }
+  } else {
+    result = unpack_f64(internal_recv(comm, root, tag));
+  }
+  record_call(CallType::kBcast, kNoPeer, 8, t.elapsed());
+  return result;
+}
+
+Communicator RankContext::split(const Communicator& comm, int color, int key) {
+  Timer t;
+  const Tag tag = next_collective_tag(comm);
+  Communicator result;
+  if (comm.rank() == 0) {
+    // (color, key, world, comm_rank) for every member, own entry included.
+    struct Entry {
+      std::int64_t color, key, world, comm_rank;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({color, key, rank_, comm.rank()});
+    for (int i = 1; i < comm.size(); ++i) {
+      Message m = internal_recv(comm, kAnySource, tag);
+      auto vals = unpack_i64(m);
+      HFAST_ASSERT(vals.size() == 2);
+      entries.push_back({vals[0], vals[1], m.src_world, m.src_comm});
+    }
+    std::map<std::int64_t, std::vector<Entry>> groups;
+    for (const auto& e : entries) groups[e.color].push_back(e);
+    for (auto& [c, group] : groups) {
+      std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+        return std::tie(a.key, a.world) < std::tie(b.key, b.world);
+      });
+      const int new_id = rt_.allocate_comm_id();
+      std::vector<std::int64_t> reply;
+      reply.push_back(new_id);
+      for (const auto& e : group) reply.push_back(e.world);
+      for (const auto& e : group) {
+        if (e.comm_rank == comm.rank()) continue;  // self handled locally
+        internal_send(comm, static_cast<Rank>(e.comm_rank), tag,
+                      reply.size() * 8, pack_i64(reply));
+      }
+      if (c == color) {
+        std::vector<Rank> members;
+        members.reserve(group.size());
+        int my_index = 0;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          members.push_back(static_cast<Rank>(group[i].world));
+          if (group[i].world == rank_) my_index = static_cast<int>(i);
+        }
+        result = Communicator(new_id, std::move(members), my_index);
+      }
+    }
+  } else {
+    internal_send(comm, 0, tag, 16, pack_i64({color, key}));
+    Message m = internal_recv(comm, 0, tag);
+    auto vals = unpack_i64(m);
+    HFAST_ASSERT(vals.size() >= 2);
+    const int new_id = static_cast<int>(vals[0]);
+    std::vector<Rank> members;
+    members.reserve(vals.size() - 1);
+    int my_index = -1;
+    for (std::size_t i = 1; i < vals.size(); ++i) {
+      members.push_back(static_cast<Rank>(vals[i]));
+      if (vals[i] == rank_) my_index = static_cast<int>(i - 1);
+    }
+    HFAST_ASSERT(my_index >= 0);
+    result = Communicator(new_id, std::move(members), my_index);
+  }
+  record_call(CallType::kCommSplit, kNoPeer, 0, t.elapsed());
+  return result;
+}
+
+void RankContext::region_begin(const std::string& name) {
+  if (observer_ != nullptr) observer_->on_region(name, /*enter=*/true);
+}
+
+void RankContext::region_end(const std::string& name) {
+  if (observer_ != nullptr) observer_->on_region(name, /*enter=*/false);
+}
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,92 @@
+#include "hfast/mpisim/runtime.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::mpisim {
+
+Runtime::Runtime(RuntimeConfig cfg) : cfg_(cfg) {
+  HFAST_EXPECTS_MSG(cfg_.nranks >= 1, "nranks must be positive");
+}
+
+Runtime::~Runtime() = default;
+
+Mailbox& Runtime::mailbox(Rank r) {
+  HFAST_EXPECTS(r >= 0 && r < nranks());
+  HFAST_ASSERT_MSG(!mailboxes_.empty(), "mailbox access outside run()");
+  return *mailboxes_[static_cast<std::size_t>(r)];
+}
+
+RunResult Runtime::run(const RankProgram& program,
+                       const ObserverFactory& observers) {
+  HFAST_EXPECTS_MSG(program != nullptr, "run() requires a program");
+
+  abort_.store(false);
+  next_comm_id_.store(1);
+  mailboxes_.clear();
+  mailboxes_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(&abort_, cfg_.watchdog));
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(cfg_.nranks));
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      threads.emplace_back([&, r] {
+        CommObserver* obs = observers ? observers(r) : nullptr;
+        RankContext ctx(*this, r, obs);
+        try {
+          program(ctx);
+        } catch (...) {
+          {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          abort_.store(true);
+          for (auto& mb : mailboxes_) mb->interrupt();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (first_error) {
+    mailboxes_.clear();
+    std::rethrow_exception(first_error);
+  }
+
+  if (cfg_.check_leaks) {
+    std::ostringstream leaks;
+    bool any = false;
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      const std::size_t n = mailboxes_[static_cast<std::size_t>(r)]->pending();
+      if (n > 0) {
+        leaks << " rank " << r << ": " << n;
+        any = true;
+      }
+    }
+    if (any) {
+      mailboxes_.clear();
+      throw Error("mpisim: unmatched messages left in mailboxes —" +
+                  leaks.str());
+    }
+  }
+  mailboxes_.clear();
+
+  return RunResult{wall};
+}
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,95 @@
+#include "hfast/mpisim/types.hpp"
+
+namespace hfast::mpisim {
+
+std::string_view call_name(CallType call) noexcept {
+  switch (call) {
+    case CallType::kSend:      return "MPI_Send";
+    case CallType::kIsend:     return "MPI_Isend";
+    case CallType::kRecv:      return "MPI_Recv";
+    case CallType::kIrecv:     return "MPI_Irecv";
+    case CallType::kSendrecv:  return "MPI_Sendrecv";
+    case CallType::kWait:      return "MPI_Wait";
+    case CallType::kWaitall:   return "MPI_Waitall";
+    case CallType::kWaitany:   return "MPI_Waitany";
+    case CallType::kBarrier:   return "MPI_Barrier";
+    case CallType::kBcast:     return "MPI_Bcast";
+    case CallType::kReduce:    return "MPI_Reduce";
+    case CallType::kAllreduce: return "MPI_Allreduce";
+    case CallType::kGather:    return "MPI_Gather";
+    case CallType::kAllgather: return "MPI_Allgather";
+    case CallType::kScatter:   return "MPI_Scatter";
+    case CallType::kAlltoall:  return "MPI_Alltoall";
+    case CallType::kAlltoallv: return "MPI_Alltoallv";
+    case CallType::kReduceScatter: return "MPI_Reduce_scatter";
+    case CallType::kScan:      return "MPI_Scan";
+    case CallType::kCommSplit: return "MPI_Comm_split";
+    case CallType::kTest:      return "MPI_Test";
+    case CallType::kIprobe:    return "MPI_Iprobe";
+    case CallType::kCount:     break;
+  }
+  return "MPI_Unknown";
+}
+
+bool is_point_to_point(CallType call) noexcept {
+  switch (call) {
+    case CallType::kSend:
+    case CallType::kIsend:
+    case CallType::kRecv:
+    case CallType::kIrecv:
+    case CallType::kSendrecv:
+    case CallType::kWait:
+    case CallType::kWaitall:
+    case CallType::kWaitany:
+    case CallType::kTest:
+    case CallType::kIprobe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_collective(CallType call) noexcept {
+  switch (call) {
+    case CallType::kBarrier:
+    case CallType::kBcast:
+    case CallType::kReduce:
+    case CallType::kAllreduce:
+    case CallType::kGather:
+    case CallType::kAllgather:
+    case CallType::kScatter:
+    case CallType::kAlltoall:
+    case CallType::kAlltoallv:
+    case CallType::kReduceScatter:
+    case CallType::kScan:
+    case CallType::kCommSplit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool carries_buffer(CallType call) noexcept {
+  switch (call) {
+    case CallType::kSend:
+    case CallType::kIsend:
+    case CallType::kRecv:
+    case CallType::kIrecv:
+    case CallType::kSendrecv:
+    case CallType::kBcast:
+    case CallType::kReduce:
+    case CallType::kAllreduce:
+    case CallType::kGather:
+    case CallType::kAllgather:
+    case CallType::kScatter:
+    case CallType::kAlltoall:
+    case CallType::kAlltoallv:
+    case CallType::kReduceScatter:
+    case CallType::kScan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,36 @@
+#include "hfast/netsim/bdp.hpp"
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::netsim {
+
+std::vector<InterconnectSpec> table1_specs() {
+  // Values exactly as the paper's Table 1 (per-CPU unidirectional peak).
+  return {
+      {"SGI Altix", "Numalink-4", 1.1e-6, 1.9e9},
+      {"Cray X1", "Cray Custom", 7.3e-6, 6.3e9},
+      {"NEC Earth Simulator", "NEC Custom", 5.6e-6, 1.5e9},
+      {"Myrinet Cluster", "Myrinet 2000", 5.7e-6, 500e6},
+      {"Cray XD1", "RapidArray/IB4x", 1.7e-6, 2e9},
+  };
+}
+
+double bandwidth_delay_product(const InterconnectSpec& spec) {
+  return spec.mpi_latency_s * spec.peak_bandwidth_bps;
+}
+
+double effective_bandwidth(const InterconnectSpec& spec, std::uint64_t bytes) {
+  if (bytes == 0) return 0.0;
+  const double t = spec.mpi_latency_s +
+                   static_cast<double>(bytes) / spec.peak_bandwidth_bps;
+  return static_cast<double>(bytes) / t;
+}
+
+double saturation_size(const InterconnectSpec& spec, double fraction) {
+  HFAST_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  return fraction / (1.0 - fraction) * bandwidth_delay_product(spec);
+}
+
+std::uint64_t paper_threshold_bytes() { return 2048; }
+
+}  // namespace hfast::netsim

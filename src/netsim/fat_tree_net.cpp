@@ -1,0 +1,120 @@
+#include "hfast/netsim/fat_tree_net.hpp"
+
+#include <sstream>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::netsim {
+
+int StructuralFatTree::digit(int value, int digit_index, int k) {
+  for (int i = 0; i < digit_index; ++i) value /= k;
+  return value % k;
+}
+
+int StructuralFatTree::replace_digit(int pos, int digit_index, int value,
+                                     int k) {
+  int scale = 1;
+  for (int i = 0; i < digit_index; ++i) scale *= k;
+  const int old = (pos / scale) % k;
+  return pos + (value - old) * scale;
+}
+
+StructuralFatTree::StructuralFatTree(int num_endpoints, int radix,
+                                     const LinkParams& params)
+    : endpoints_(num_endpoints) {
+  HFAST_EXPECTS(num_endpoints >= 2);
+  HFAST_EXPECTS_MSG(radix >= 4 && radix % 2 == 0,
+                    "fat-tree radix must be an even number >= 4");
+  k_ = radix / 2;
+  levels_ = 1;
+  std::int64_t capacity = k_;
+  while (capacity < num_endpoints) {
+    capacity *= k_;
+    ++levels_;
+    HFAST_ASSERT_MSG(levels_ <= 12, "fat-tree depth overflow");
+  }
+  positions_ = 1;
+  for (int l = 1; l < levels_; ++l) positions_ *= k_;
+
+  // Vertices: endpoints, then switches level-major.
+  for (int i = 0; i < endpoints_ + levels_ * positions_; ++i) {
+    (void)add_vertex();
+  }
+  // Endpoint <-> leaf links.
+  for (int e = 0; e < endpoints_; ++e) {
+    add_duplex_link(e, switch_vertex(1, e / k_), params);
+  }
+  // Inter-level links: (l, w) <-> (l+1, u) iff w and u differ at most in
+  // position digit l-1. Enumerate once per upper switch: its k down
+  // neighbors are u with digit l-1 replaced by each j.
+  for (int l = 1; l < levels_; ++l) {
+    for (int u = 0; u < positions_; ++u) {
+      for (int j = 0; j < k_; ++j) {
+        const int w = replace_digit(u, l - 1, j, k_);
+        add_duplex_link(switch_vertex(l, w), switch_vertex(l + 1, u), params);
+      }
+    }
+  }
+}
+
+std::string StructuralFatTree::name() const {
+  std::ostringstream os;
+  os << "fat-tree-structural(k=" << k_ << ",n=" << levels_ << ')';
+  return os.str();
+}
+
+int StructuralFatTree::common_level(int src, int dst) const {
+  HFAST_EXPECTS(src >= 0 && src < endpoints_ && dst >= 0 && dst < endpoints_);
+  int level = 1;
+  int s = src / k_;
+  int d = dst / k_;
+  while (s != d) {
+    s /= k_;
+    d /= k_;
+    ++level;
+  }
+  return level;
+}
+
+std::vector<int> StructuralFatTree::route_links(int src, int dst) const {
+  const int m = common_level(src, dst);
+  std::vector<int> path;
+  path.reserve(static_cast<std::size_t>(2 * m));
+
+  int w = src / k_;  // leaf position of the source
+  int prev = src;
+  int cur = switch_vertex(1, w);
+  path.push_back(link_between(prev, cur));
+
+  // Climb, rewriting each freed digit to the destination's (D-mod-k).
+  for (int l = 1; l < m; ++l) {
+    const int next_w = replace_digit(w, l - 1, digit(dst, l, k_) , k_);
+    // Position digit l-1 corresponds to endpoint digit l.
+    const int next = switch_vertex(l + 1, next_w);
+    path.push_back(link_between(cur, next));
+    w = next_w;
+    cur = next;
+  }
+  // After the climb, w equals the destination leaf's canonical position in
+  // all digits; descend straight down.
+  for (int l = m - 1; l >= 1; --l) {
+    const int next = switch_vertex(l, w);
+    path.push_back(link_between(cur, next));
+    cur = next;
+  }
+  path.push_back(link_between(cur, dst));
+  return path;
+}
+
+double StructuralFatTree::transfer(int src, int dst, std::uint64_t bytes,
+                                   double start) {
+  HFAST_EXPECTS(src != dst);
+  return traverse(route_links(src, dst), bytes, start);
+}
+
+int StructuralFatTree::switch_hops(int src, int dst) const {
+  if (src == dst) return 0;
+  return 2 * common_level(src, dst) - 1;
+}
+
+}  // namespace hfast::netsim

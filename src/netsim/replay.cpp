@@ -1,0 +1,156 @@
+#include "hfast/netsim/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <queue>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::netsim {
+
+namespace {
+
+using trace::CommEvent;
+using trace::EventKind;
+
+struct RankState {
+  std::vector<CommEvent> ops;
+  std::size_t pos = 0;
+  double clock = 0.0;
+  bool blocked = false;
+};
+
+struct QueueEntry {
+  double clock;
+  int rank;
+  bool operator>(const QueueEntry& o) const { return clock > o.clock; }
+};
+
+double collective_cost(const CommEvent& e, int nranks,
+                       const ReplayParams& params) {
+  const int levels =
+      nranks <= 1 ? 0
+                  : static_cast<int>(std::ceil(std::log2(nranks)));
+  // Up the combine tree and back down, plus payload at tree bandwidth.
+  return 2.0 * levels * params.tree_hop_latency_s +
+         static_cast<double>(e.bytes) / params.tree_bandwidth_bps;
+}
+
+}  // namespace
+
+ReplayResult replay(const trace::Trace& trace, Network& net,
+                    const ReplayParams& params) {
+  HFAST_EXPECTS_MSG(trace.nranks() <= net.num_endpoints(),
+                    "network too small for the trace");
+  net.reset();
+
+  const int n = trace.nranks();
+  std::vector<RankState> ranks(static_cast<std::size_t>(n));
+  for (const CommEvent& e : trace.events()) {
+    ranks[static_cast<std::size_t>(e.rank)].ops.push_back(e);
+  }
+
+  // FIFO per-channel arrival queue: (src, dst) -> tail arrival times.
+  std::map<std::pair<int, int>, std::deque<double>> channel;
+  // Ranks blocked on an empty channel, keyed by the channel they need.
+  std::map<std::pair<int, int>, std::vector<int>> waiting;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  for (int r = 0; r < n; ++r) {
+    if (!ranks[static_cast<std::size_t>(r)].ops.empty()) {
+      pq.push({0.0, r});
+    }
+  }
+
+  ReplayResult result;
+  double sum_latency = 0.0;
+  double sum_hops = 0.0;
+  std::size_t finished = 0;
+  for (int r = 0; r < n; ++r) {
+    if (ranks[static_cast<std::size_t>(r)].ops.empty()) ++finished;
+  }
+
+  while (!pq.empty()) {
+    const auto [clock, r] = pq.top();
+    pq.pop();
+    RankState& rs = ranks[static_cast<std::size_t>(r)];
+    if (rs.blocked || rs.pos >= rs.ops.size() || clock != rs.clock) {
+      continue;  // stale queue entry
+    }
+
+    const CommEvent& e = rs.ops[rs.pos];
+    switch (e.kind) {
+      case EventKind::kSend: {
+        rs.clock += params.send_overhead_s;
+        double arrival = rs.clock;
+        if (e.peer != e.rank && e.peer >= 0) {
+          arrival = net.transfer(e.rank, e.peer, e.bytes, rs.clock);
+          const double latency = arrival - rs.clock;
+          sum_latency += latency;
+          result.max_message_latency_s =
+              std::max(result.max_message_latency_s, latency);
+          const int hops = net.switch_hops(e.rank, e.peer);
+          sum_hops += hops;
+          result.max_switch_hops = std::max(result.max_switch_hops, hops);
+          ++result.messages;
+          result.bytes += e.bytes;
+        }
+        channel[{e.peer, e.rank}].push_back(arrival);
+        // Wake a rank blocked on this channel.
+        auto w = waiting.find({e.peer, e.rank});
+        if (w != waiting.end() && !w->second.empty()) {
+          const int woken = w->second.back();
+          w->second.pop_back();
+          ranks[static_cast<std::size_t>(woken)].blocked = false;
+          pq.push({ranks[static_cast<std::size_t>(woken)].clock, woken});
+        }
+        ++rs.pos;
+        break;
+      }
+      case EventKind::kRecv: {
+        // Our channel key is (dst_of_send, src_of_send) = (this rank's view).
+        auto& q = channel[{e.rank, e.peer}];
+        if (q.empty()) {
+          rs.blocked = true;
+          waiting[{e.rank, e.peer}].push_back(r);
+          continue;  // re-queued on wake
+        }
+        const double arrival = q.front();
+        q.pop_front();
+        if (arrival > rs.clock) {
+          result.total_recv_wait_s += arrival - rs.clock;
+          rs.clock = arrival;
+        }
+        rs.clock += params.recv_overhead_s;
+        ++rs.pos;
+        break;
+      }
+      case EventKind::kCollective: {
+        rs.clock += params.send_overhead_s + collective_cost(e, n, params);
+        ++rs.pos;
+        break;
+      }
+    }
+
+    if (rs.pos >= rs.ops.size()) {
+      ++finished;
+    } else if (!rs.blocked) {
+      pq.push({rs.clock, r});
+    }
+    result.makespan_s = std::max(result.makespan_s, rs.clock);
+  }
+
+  if (finished != static_cast<std::size_t>(n)) {
+    throw Error("replay: trace stalled — receive without a matching send");
+  }
+  if (result.messages > 0) {
+    result.avg_message_latency_s =
+        sum_latency / static_cast<double>(result.messages);
+    result.avg_switch_hops = sum_hops / static_cast<double>(result.messages);
+  }
+  return result;
+}
+
+}  // namespace hfast::netsim

@@ -1,0 +1,99 @@
+#include "hfast/topo/anneal.hpp"
+
+#include <cmath>
+
+#include "hfast/util/random.hpp"
+
+namespace hfast::topo {
+
+namespace {
+
+/// Byte-weighted hop cost of all edges incident to `task` under `emb`.
+std::uint64_t incident_cost(const graph::CommGraph& g,
+                            const DirectTopology& topo, const Embedding& emb,
+                            graph::Node task) {
+  std::uint64_t cost = 0;
+  for (graph::Node p : g.partners(task)) {
+    const auto* e = g.edge(task, p);
+    cost += e->bytes * static_cast<std::uint64_t>(
+                           topo.distance(emb(task), emb(p)));
+  }
+  return cost;
+}
+
+std::uint64_t total_cost(const graph::CommGraph& g, const DirectTopology& topo,
+                         const Embedding& emb) {
+  std::uint64_t cost = 0;
+  for (const auto& [uv, stats] : g.edges()) {
+    cost += stats.bytes * static_cast<std::uint64_t>(
+                              topo.distance(emb(uv.first), emb(uv.second)));
+  }
+  return cost;
+}
+
+}  // namespace
+
+AnnealResult anneal_embedding(const graph::CommGraph& g,
+                              const DirectTopology& topo, Embedding start,
+                              const AnnealParams& params) {
+  HFAST_EXPECTS(start.node_of_task.size() ==
+                static_cast<std::size_t>(g.num_nodes()));
+  HFAST_EXPECTS(params.iterations >= 0 && params.cooling > 0.0 &&
+                params.cooling < 1.0);
+  const int n = g.num_nodes();
+
+  AnnealResult result;
+  result.embedding = std::move(start);
+  result.initial_cost = total_cost(g, topo, result.embedding);
+
+  if (n < 2 || params.iterations == 0) {
+    result.final_cost = result.initial_cost;
+    return result;
+  }
+
+  util::Rng rng(params.seed);
+  double temperature = params.initial_temperature;
+  if (temperature <= 0.0) {
+    // Auto-scale: a temperature where a move costing ~1% of the total is
+    // accepted with probability ~1/e.
+    temperature = std::max(1.0, static_cast<double>(result.initial_cost) * 0.01);
+  }
+
+  std::uint64_t current = result.initial_cost;
+  for (int it = 0; it < params.iterations; ++it) {
+    const auto a = static_cast<graph::Node>(rng.uniform(static_cast<std::uint64_t>(n)));
+    auto b = static_cast<graph::Node>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (a == b) b = (b + 1) % n;
+
+    // Delta via incident edges only (the a-b edge, if any, is counted once
+    // from each side both before and after, so the difference is exact).
+    const std::uint64_t before = incident_cost(g, topo, result.embedding, a) +
+                                 incident_cost(g, topo, result.embedding, b);
+    std::swap(result.embedding.node_of_task[static_cast<std::size_t>(a)],
+              result.embedding.node_of_task[static_cast<std::size_t>(b)]);
+    const std::uint64_t after = incident_cost(g, topo, result.embedding, a) +
+                                incident_cost(g, topo, result.embedding, b);
+
+    const double delta = static_cast<double>(after) - static_cast<double>(before);
+    bool accept = delta <= 0.0;
+    if (!accept && temperature > 1e-9) {
+      accept = rng.uniform01() < std::exp(-delta / temperature);
+    }
+    if (accept) {
+      ++result.accepted_moves;
+      if (delta < 0.0) ++result.improving_moves;
+      current = static_cast<std::uint64_t>(
+          static_cast<double>(current) + delta);
+    } else {
+      std::swap(result.embedding.node_of_task[static_cast<std::size_t>(a)],
+                result.embedding.node_of_task[static_cast<std::size_t>(b)]);
+    }
+    temperature *= params.cooling;
+  }
+
+  result.final_cost = total_cost(g, topo, result.embedding);
+  HFAST_ENSURES(result.final_cost == current);
+  return result;
+}
+
+}  // namespace hfast::topo

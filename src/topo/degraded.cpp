@@ -1,0 +1,40 @@
+#include "hfast/topo/degraded.hpp"
+
+#include <algorithm>
+
+namespace hfast::topo {
+
+void DegradedTopology::fail_node(Node u) {
+  check_node(u);
+  failed_nodes_.insert(u);
+}
+
+void DegradedTopology::fail_link(Node u, Node v) {
+  check_node(u);
+  check_node(v);
+  HFAST_EXPECTS(u != v);
+  failed_links_.insert(u < v ? std::pair{u, v} : std::pair{v, u});
+}
+
+std::vector<Node> DegradedTopology::healthy_nodes() const {
+  std::vector<Node> out;
+  out.reserve(static_cast<std::size_t>(num_nodes()));
+  for (Node u = 0; u < num_nodes(); ++u) {
+    if (failed_nodes_.count(u) == 0) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<Node> DegradedTopology::neighbors(Node u) const {
+  if (failed_nodes_.count(u) != 0) return {};
+  std::vector<Node> out;
+  for (Node v : base_.neighbors(u)) {
+    if (failed_nodes_.count(v) != 0) continue;
+    const auto key = u < v ? std::pair{u, v} : std::pair{v, u};
+    if (failed_links_.count(key) != 0) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hfast::topo

@@ -1,0 +1,136 @@
+#include "hfast/topo/embedding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace hfast::topo {
+
+Embedding identity_embedding(int num_tasks) {
+  Embedding e;
+  e.node_of_task.resize(static_cast<std::size_t>(num_tasks));
+  std::iota(e.node_of_task.begin(), e.node_of_task.end(), 0);
+  return e;
+}
+
+Embedding random_embedding(int num_tasks, int num_nodes, util::Rng& rng) {
+  HFAST_EXPECTS(num_tasks <= num_nodes);
+  std::vector<Node> nodes(static_cast<std::size_t>(num_nodes));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  rng.shuffle(nodes);
+  nodes.resize(static_cast<std::size_t>(num_tasks));
+  return Embedding{std::move(nodes)};
+}
+
+Embedding greedy_embedding(const graph::CommGraph& g,
+                           const DirectTopology& topo) {
+  std::vector<Node> all(static_cast<std::size_t>(topo.num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  return greedy_embedding(g, topo, all);
+}
+
+Embedding greedy_embedding(const graph::CommGraph& g,
+                           const DirectTopology& topo,
+                           const std::vector<Node>& allowed_nodes) {
+  const int n = g.num_nodes();
+  HFAST_EXPECTS(n <= static_cast<int>(allowed_nodes.size()));
+  for (Node a : allowed_nodes) {
+    HFAST_EXPECTS(a >= 0 && a < topo.num_nodes());
+  }
+
+  // Order tasks by total traffic, heaviest first.
+  std::vector<std::uint64_t> traffic(static_cast<std::size_t>(n), 0);
+  for (const auto& [uv, stats] : g.edges()) {
+    traffic[static_cast<std::size_t>(uv.first)] += stats.bytes;
+    traffic[static_cast<std::size_t>(uv.second)] += stats.bytes;
+  }
+  std::vector<graph::Node> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return traffic[static_cast<std::size_t>(a)] >
+           traffic[static_cast<std::size_t>(b)];
+  });
+
+  Embedding emb;
+  emb.node_of_task.assign(static_cast<std::size_t>(n), -1);
+  std::vector<bool> taken(static_cast<std::size_t>(topo.num_nodes()), true);
+  for (Node a : allowed_nodes) taken[static_cast<std::size_t>(a)] = false;
+
+  for (graph::Node task : order) {
+    // Cost of a candidate node: byte-weighted distance to placed partners.
+    Node best = -1;
+    double best_cost = std::numeric_limits<double>::max();
+    bool has_placed_partner = false;
+    for (graph::Node p : g.partners(task)) {
+      if (emb.node_of_task[static_cast<std::size_t>(p)] != -1) {
+        has_placed_partner = true;
+        break;
+      }
+    }
+    for (Node cand : allowed_nodes) {
+      if (taken[static_cast<std::size_t>(cand)]) continue;
+      if (!has_placed_partner) {
+        best = cand;  // first free node (deterministic)
+        break;
+      }
+      double cost = 0.0;
+      for (graph::Node p : g.partners(task)) {
+        const Node pn = emb.node_of_task[static_cast<std::size_t>(p)];
+        if (pn == -1) continue;
+        const auto* e = g.edge(task, p);
+        cost += static_cast<double>(e->bytes) * topo.distance(cand, pn);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = cand;
+      }
+    }
+    HFAST_ASSERT(best != -1);
+    emb.node_of_task[static_cast<std::size_t>(task)] = best;
+    taken[static_cast<std::size_t>(best)] = true;
+  }
+  return emb;
+}
+
+EmbeddingQuality evaluate_embedding(const graph::CommGraph& g,
+                                    const DirectTopology& topo,
+                                    const Embedding& emb) {
+  HFAST_EXPECTS(emb.node_of_task.size() ==
+                static_cast<std::size_t>(g.num_nodes()));
+  EmbeddingQuality q;
+  std::map<std::pair<Node, Node>, std::uint64_t> link_load;
+  std::uint64_t total_bytes = 0;
+
+  for (const auto& [uv, stats] : g.edges()) {
+    const Node a = emb(uv.first);
+    const Node b = emb(uv.second);
+    const auto path = topo.route(a, b);
+    const int hops = static_cast<int>(path.size()) - 1;
+    q.max_dilation = std::max(q.max_dilation, hops);
+    q.total_byte_hops += stats.bytes * static_cast<std::uint64_t>(hops);
+    total_bytes += stats.bytes;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Node x = std::min(path[i], path[i + 1]);
+      const Node y = std::max(path[i], path[i + 1]);
+      link_load[{x, y}] += stats.bytes;
+    }
+  }
+
+  if (total_bytes > 0) {
+    q.avg_dilation = static_cast<double>(q.total_byte_hops) /
+                     static_cast<double>(total_bytes);
+  }
+  std::uint64_t sum_load = 0;
+  for (const auto& [link, load] : link_load) {
+    (void)link;
+    q.max_link_load = std::max(q.max_link_load, load);
+    sum_load += load;
+  }
+  if (!link_load.empty()) {
+    q.avg_link_load =
+        static_cast<double>(sum_load) / static_cast<double>(link_load.size());
+  }
+  return q;
+}
+
+}  // namespace hfast::topo

@@ -1,0 +1,59 @@
+#include "hfast/topo/fat_tree.hpp"
+
+#include <sstream>
+
+namespace hfast::topo {
+
+int FatTree::required_levels(int num_procs, int radix) {
+  HFAST_EXPECTS_MSG(radix >= 4 && radix % 2 == 0,
+                    "fat-tree radix must be an even number >= 4");
+  HFAST_EXPECTS(num_procs >= 1);
+  const auto half = static_cast<std::uint64_t>(radix / 2);
+  std::uint64_t cap = 2 * half;  // L = 1
+  int levels = 1;
+  while (cap < static_cast<std::uint64_t>(num_procs)) {
+    cap *= half;
+    ++levels;
+    HFAST_ASSERT_MSG(levels <= 32, "fat-tree depth overflow");
+  }
+  return levels;
+}
+
+FatTree::FatTree(int num_procs, int radix)
+    : procs_(num_procs),
+      radix_(radix),
+      levels_(required_levels(num_procs, radix)) {
+  const auto half = static_cast<std::uint64_t>(radix_ / 2);
+  capacity_ = 2;
+  for (int l = 0; l < levels_; ++l) capacity_ *= half;
+}
+
+std::string FatTree::name() const {
+  std::ostringstream os;
+  os << "fat-tree(P=" << procs_ << ",N=" << radix_ << ",L=" << levels_ << ')';
+  return os.str();
+}
+
+std::uint64_t FatTree::subtree_size(int level) const {
+  HFAST_EXPECTS(level >= 1 && level <= levels_);
+  if (level == levels_) return capacity_;
+  const auto half = static_cast<std::uint64_t>(radix_ / 2);
+  std::uint64_t size = 1;
+  for (int l = 0; l < level; ++l) size *= half;
+  return size;
+}
+
+int FatTree::switch_traversals(Node u, Node v) const {
+  HFAST_EXPECTS(u >= 0 && u < procs_ && v >= 0 && v < procs_);
+  if (u == v) return 0;
+  for (int l = 1; l <= levels_; ++l) {
+    const std::uint64_t size = subtree_size(l);
+    if (static_cast<std::uint64_t>(u) / size ==
+        static_cast<std::uint64_t>(v) / size) {
+      return 2 * l - 1;
+    }
+  }
+  return worst_case_traversals();
+}
+
+}  // namespace hfast::topo

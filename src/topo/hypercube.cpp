@@ -1,0 +1,46 @@
+#include "hfast/topo/hypercube.hpp"
+
+#include <bit>
+
+namespace hfast::topo {
+
+Hypercube::Hypercube(int dimensions) : dims_(dimensions) {
+  HFAST_EXPECTS_MSG(dimensions >= 0 && dimensions <= 30,
+                    "hypercube dimension out of range");
+}
+
+std::string Hypercube::name() const {
+  return "hypercube(d=" + std::to_string(dims_) + ")";
+}
+
+std::vector<Node> Hypercube::neighbors(Node u) const {
+  check_node(u);
+  std::vector<Node> out;
+  out.reserve(static_cast<std::size_t>(dims_));
+  for (int b = 0; b < dims_; ++b) {
+    out.push_back(u ^ (1 << b));
+  }
+  return out;
+}
+
+int Hypercube::distance(Node u, Node v) const {
+  check_node(u);
+  check_node(v);
+  return std::popcount(static_cast<unsigned>(u ^ v));
+}
+
+std::vector<Node> Hypercube::route(Node u, Node v) const {
+  check_node(u);
+  check_node(v);
+  std::vector<Node> path{u};
+  Node cur = u;
+  for (int b = 0; b < dims_; ++b) {
+    if (((cur ^ v) >> b) & 1) {
+      cur ^= (1 << b);
+      path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+}  // namespace hfast::topo

@@ -1,0 +1,73 @@
+#include "hfast/topo/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hfast::topo {
+
+namespace {
+
+/// BFS parents from src; parent[src] = src.
+std::vector<Node> bfs_parents(const DirectTopology& t, Node src) {
+  std::vector<Node> parent(static_cast<std::size_t>(t.num_nodes()), -1);
+  std::queue<Node> q;
+  parent[static_cast<std::size_t>(src)] = src;
+  q.push(src);
+  while (!q.empty()) {
+    const Node u = q.front();
+    q.pop();
+    auto nbrs = t.neighbors(u);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (Node v : nbrs) {
+      if (parent[static_cast<std::size_t>(v)] == -1) {
+        parent[static_cast<std::size_t>(v)] = u;
+        q.push(v);
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+int DirectTopology::distance(Node u, Node v) const {
+  check_node(u);
+  check_node(v);
+  if (u == v) return 0;
+  const auto path = route(u, v);
+  return static_cast<int>(path.size()) - 1;
+}
+
+std::vector<Node> DirectTopology::route(Node u, Node v) const {
+  check_node(u);
+  check_node(v);
+  if (u == v) return {u};
+  const auto parent = bfs_parents(*this, u);
+  HFAST_ASSERT_MSG(parent[static_cast<std::size_t>(v)] != -1,
+                   "topology is disconnected");
+  std::vector<Node> path;
+  for (Node cur = v; cur != u; cur = parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+  }
+  path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int DirectTopology::max_degree() const {
+  int deg = 0;
+  for (Node u = 0; u < num_nodes(); ++u) {
+    deg = std::max(deg, static_cast<int>(neighbors(u).size()));
+  }
+  return deg;
+}
+
+std::size_t DirectTopology::num_links() const {
+  std::size_t links = 0;
+  for (Node u = 0; u < num_nodes(); ++u) {
+    links += neighbors(u).size();
+  }
+  return links;
+}
+
+}  // namespace hfast::topo

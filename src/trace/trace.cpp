@@ -1,0 +1,193 @@
+#include "hfast/trace/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::trace {
+
+void TraceRecorder::on_call(CallType call, Rank peer, std::uint64_t bytes,
+                            double seconds) {
+  (void)peer;
+  (void)seconds;
+  if (!mpisim::is_collective(call)) return;  // PTP captured via on_message
+  events_.push_back({rank_, next_op_++, EventKind::kCollective, call,
+                     mpisim::kNoPeer, bytes, current_region()});
+}
+
+void TraceRecorder::on_message(Rank peer_world, std::uint64_t bytes,
+                               bool is_send) {
+  events_.push_back({rank_, next_op_++,
+                     is_send ? EventKind::kSend : EventKind::kRecv,
+                     is_send ? CallType::kSend : CallType::kRecv, peer_world,
+                     bytes, current_region()});
+}
+
+void TraceRecorder::on_region(std::string_view name, bool enter) {
+  if (enter) {
+    for (std::size_t i = 0; i < region_names_.size(); ++i) {
+      if (region_names_[i] == name) {
+        stack_.push_back(static_cast<std::uint16_t>(i));
+        return;
+      }
+    }
+    region_names_.emplace_back(name);
+    stack_.push_back(static_cast<std::uint16_t>(region_names_.size() - 1));
+  } else {
+    HFAST_EXPECTS_MSG(!stack_.empty(), "region_end without begin");
+    stack_.pop_back();
+  }
+}
+
+Trace::Trace(int nranks, std::vector<CommEvent> events,
+             std::vector<std::string> region_names)
+    : nranks_(nranks),
+      events_(std::move(events)),
+      region_names_(std::move(region_names)) {
+  std::sort(events_.begin(), events_.end(),
+            [](const CommEvent& a, const CommEvent& b) {
+              return std::tie(a.rank, a.op_index) < std::tie(b.rank, b.op_index);
+            });
+}
+
+Trace Trace::merge(std::span<const TraceRecorder* const> recorders) {
+  std::vector<std::string> names{""};
+  auto intern = [&names](const std::string& n) -> std::uint16_t {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == n) return static_cast<std::uint16_t>(i);
+    }
+    names.push_back(n);
+    return static_cast<std::uint16_t>(names.size() - 1);
+  };
+
+  std::vector<CommEvent> all;
+  std::size_t total = 0;
+  for (const auto* r : recorders) total += r->events().size();
+  all.reserve(total);
+  for (const auto* r : recorders) {
+    HFAST_EXPECTS(r != nullptr);
+    // Remap this recorder's region ids into the merged table.
+    std::vector<std::uint16_t> remap(r->region_names().size());
+    for (std::size_t i = 0; i < r->region_names().size(); ++i) {
+      remap[i] = intern(r->region_names()[i]);
+    }
+    for (CommEvent e : r->events()) {
+      e.region = remap[e.region];
+      all.push_back(e);
+    }
+  }
+  return Trace(static_cast<int>(recorders.size()), std::move(all),
+               std::move(names));
+}
+
+std::vector<CommEvent> Trace::rank_events(Rank r) const {
+  std::vector<CommEvent> out;
+  for (const CommEvent& e : events_) {
+    if (e.rank == r) out.push_back(e);
+  }
+  return out;
+}
+
+Trace Trace::filter_region(std::string_view region) const {
+  if (region.empty()) return *this;
+  std::uint16_t want = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < region_names_.size(); ++i) {
+    if (region_names_[i] == region) {
+      want = static_cast<std::uint16_t>(i);
+      found = true;
+      break;
+    }
+  }
+  std::vector<CommEvent> kept;
+  if (found) {
+    for (const CommEvent& e : events_) {
+      if (e.region == want) kept.push_back(e);
+    }
+  }
+  return Trace(nranks_, std::move(kept), region_names_);
+}
+
+Trace Trace::point_to_point_only() const {
+  std::vector<CommEvent> kept;
+  for (const CommEvent& e : events_) {
+    if (e.kind != EventKind::kCollective) kept.push_back(e);
+  }
+  return Trace(nranks_, std::move(kept), region_names_);
+}
+
+std::uint64_t Trace::total_ptp_bytes() const {
+  std::uint64_t sum = 0;
+  for (const CommEvent& e : events_) {
+    if (e.kind == EventKind::kSend) sum += e.bytes;
+  }
+  return sum;
+}
+
+void Trace::save_text(std::ostream& os) const {
+  os << "hfast-trace v1 nranks=" << nranks_
+     << " events=" << events_.size() << " regions=" << region_names_.size()
+     << '\n';
+  for (std::size_t i = 0; i < region_names_.size(); ++i) {
+    os << "region " << i << ' '
+       << (region_names_[i].empty() ? "<global>" : region_names_[i]) << '\n';
+  }
+  for (const CommEvent& e : events_) {
+    os << e.rank << ' ' << e.op_index << ' ' << static_cast<int>(e.kind) << ' '
+       << static_cast<int>(e.call) << ' ' << e.peer << ' ' << e.bytes << ' '
+       << e.region << '\n';
+  }
+}
+
+Trace Trace::load_text(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  int nranks = 0;
+  std::size_t nevents = 0, nregions = 0;
+  {
+    std::istringstream hs(header);
+    std::string magic, version, kv;
+    hs >> magic >> version;
+    if (magic != "hfast-trace" || version != "v1") {
+      throw Error("trace: bad header: " + header);
+    }
+    while (hs >> kv) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = kv.substr(0, eq);
+      const std::string val = kv.substr(eq + 1);
+      if (key == "nranks") nranks = std::stoi(val);
+      if (key == "events") nevents = std::stoull(val);
+      if (key == "regions") nregions = std::stoull(val);
+    }
+  }
+  std::vector<std::string> names(nregions);
+  for (std::size_t i = 0; i < nregions; ++i) {
+    std::string word, name;
+    std::size_t idx = 0;
+    is >> word >> idx >> name;
+    if (word != "region" || idx >= nregions) throw Error("trace: bad region line");
+    names[idx] = (name == "<global>") ? "" : name;
+  }
+  std::vector<CommEvent> events;
+  events.reserve(nevents);
+  for (std::size_t i = 0; i < nevents; ++i) {
+    CommEvent e;
+    int kind = 0, call = 0, region = 0;
+    if (!(is >> e.rank >> e.op_index >> kind >> call >> e.peer >> e.bytes >>
+          region)) {
+      throw Error("trace: truncated event stream");
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.call = static_cast<CallType>(call);
+    e.region = static_cast<std::uint16_t>(region);
+    events.push_back(e);
+  }
+  return Trace(nranks, std::move(events), std::move(names));
+}
+
+}  // namespace hfast::trace

@@ -1,0 +1,53 @@
+#include "hfast/trace/window.hpp"
+
+#include <algorithm>
+
+#include "hfast/graph/tdc.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::trace {
+
+std::vector<graph::CommGraph> windowed_graphs(const Trace& trace,
+                                              std::size_t num_windows) {
+  HFAST_EXPECTS(num_windows >= 1);
+  std::vector<graph::CommGraph> out;
+  out.reserve(num_windows);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    out.emplace_back(trace.nranks());
+  }
+
+  // Per-rank stream lengths determine each rank's window stride so phases
+  // line up even when ranks issue different numbers of operations.
+  std::vector<std::uint64_t> stream_len(
+      static_cast<std::size_t>(trace.nranks()), 0);
+  for (const CommEvent& e : trace.events()) {
+    auto& len = stream_len[static_cast<std::size_t>(e.rank)];
+    len = std::max(len, e.op_index + 1);
+  }
+
+  for (const CommEvent& e : trace.events()) {
+    if (e.kind != EventKind::kSend) continue;  // count each transfer once
+    if (e.peer < 0 || e.peer == e.rank) continue;
+    const std::uint64_t len = stream_len[static_cast<std::size_t>(e.rank)];
+    std::size_t w = static_cast<std::size_t>(
+        (static_cast<__uint128_t>(e.op_index) * num_windows) / len);
+    w = std::min(w, num_windows - 1);
+    out[w].add_message(e.rank, e.peer, e.bytes);
+  }
+  return out;
+}
+
+std::vector<WindowStats> windowed_tdc(const Trace& trace,
+                                      std::size_t num_windows,
+                                      std::uint64_t cutoff_bytes) {
+  std::vector<WindowStats> out;
+  const auto graphs = windowed_graphs(trace, num_windows);
+  out.reserve(graphs.size());
+  for (std::size_t w = 0; w < graphs.size(); ++w) {
+    const auto stats = graph::tdc(graphs[w], cutoff_bytes);
+    out.push_back({w, graphs[w].total_bytes(), stats.max, stats.avg});
+  }
+  return out;
+}
+
+}  // namespace hfast::trace

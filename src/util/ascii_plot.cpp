@@ -1,0 +1,124 @@
+#include "hfast/util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::util {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+constexpr char kRamp[] = {' ', '.', ':', '-', '=', '+', '*', '#', '@'};
+}  // namespace
+
+std::string line_chart(const std::string& title,
+                       const std::vector<std::string>& x_labels,
+                       const std::vector<Series>& series, int height) {
+  HFAST_EXPECTS(height >= 4);
+  HFAST_EXPECTS(!x_labels.empty());
+  for (const auto& s : series) {
+    HFAST_EXPECTS_MSG(s.y.size() == x_labels.size(),
+                      "series length must match x_labels");
+  }
+
+  double ymax = 0.0;
+  for (const auto& s : series) {
+    for (double v : s.y) ymax = std::max(ymax, v);
+  }
+  if (ymax <= 0.0) ymax = 1.0;
+
+  const int cols = static_cast<int>(x_labels.size());
+  const int col_width = 4;  // one glyph cell per tick, padded for readability
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height),
+      std::string(static_cast<std::size_t>(cols * col_width), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (int xi = 0; xi < cols; ++xi) {
+      const double v = series[si].y[static_cast<std::size_t>(xi)];
+      int row = static_cast<int>(
+          std::lround(v / ymax * static_cast<double>(height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      // Grid row 0 is the top of the chart.
+      auto& line = grid[static_cast<std::size_t>(height - 1 - row)];
+      const auto pos = static_cast<std::size_t>(xi * col_width + 1);
+      // When two series coincide, keep the earlier glyph and mark overlap.
+      line[pos] = line[pos] == ' ' ? glyph : '?';
+    }
+  }
+
+  std::ostringstream os;
+  os << title << "  (ymax=" << std::fixed << std::setprecision(1) << ymax
+     << ")\n";
+  for (int r = 0; r < height; ++r) {
+    const double yval =
+        ymax * static_cast<double>(height - 1 - r) / static_cast<double>(height - 1);
+    os << std::setw(7) << std::fixed << std::setprecision(1) << yval << " |"
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(8, ' ') << '+'
+     << std::string(static_cast<std::size_t>(cols * col_width), '-') << '\n';
+  os << std::string(9, ' ');
+  for (const auto& lbl : x_labels) {
+    std::string t = lbl.size() > 3 ? lbl.substr(0, 3) : lbl;
+    os << std::left << std::setw(col_width) << t;
+  }
+  os << '\n';
+  os << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  [" << kGlyphs[si % sizeof(kGlyphs)] << "] " << series[si].name;
+  }
+  os << "  ('?' = overlap)\n";
+  return os.str();
+}
+
+std::string heatmap(const std::string& title,
+                    const std::vector<std::vector<double>>& matrix,
+                    int cells) {
+  HFAST_EXPECTS(cells >= 4);
+  const std::size_t n = matrix.size();
+  if (n == 0) return title + "\n(empty)\n";
+  for (const auto& row : matrix) {
+    HFAST_EXPECTS_MSG(row.size() == n, "heatmap requires a square matrix");
+  }
+
+  const std::size_t out =
+      std::min<std::size_t>(n, static_cast<std::size_t>(cells));
+  double vmax = 0.0;
+  for (const auto& row : matrix) {
+    for (double v : row) vmax = std::max(vmax, v);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::ostringstream os;
+  os << title << "  (" << n << "x" << n << ", max=" << std::scientific
+     << std::setprecision(2) << vmax << ")\n";
+  const std::size_t ramp_n = sizeof(kRamp) - 1;  // last index
+  for (std::size_t r = 0; r < out; ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < out; ++c) {
+      // Max-pool the block [r0,r1) x [c0,c1).
+      const std::size_t r0 = r * n / out, r1 = std::max(r0 + 1, (r + 1) * n / out);
+      const std::size_t c0 = c * n / out, c1 = std::max(c0 + 1, (c + 1) * n / out);
+      double v = 0.0;
+      for (std::size_t i = r0; i < r1 && i < n; ++i) {
+        for (std::size_t j = c0; j < c1 && j < n; ++j) {
+          v = std::max(v, matrix[i][j]);
+        }
+      }
+      // Log-compress so small-but-present traffic is visible next to the max.
+      const double t = v <= 0.0 ? 0.0 : std::log1p(v) / std::log1p(vmax);
+      const auto idx = static_cast<std::size_t>(
+          std::lround(t * static_cast<double>(ramp_n)));
+      os << kRamp[std::min(idx, ramp_n)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hfast::util

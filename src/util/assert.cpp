@@ -1,0 +1,17 @@
+#include "hfast/util/assert.hpp"
+
+#include <sstream>
+
+namespace hfast::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace hfast::detail

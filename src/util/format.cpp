@@ -1,0 +1,64 @@
+#include "hfast/util/format.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace hfast::util {
+
+std::string size_label(std::uint64_t bytes) {
+  if (bytes < 1024) return std::to_string(bytes);
+  if (bytes % (1024ULL * 1024ULL) == 0) {
+    return std::to_string(bytes / (1024ULL * 1024ULL)) + "MB";
+  }
+  if (bytes % 1024ULL == 0) return std::to_string(bytes / 1024ULL) + "k";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << static_cast<double>(bytes) / 1024.0 << "k";
+  return os.str();
+}
+
+namespace {
+std::string with_unit(double v, const char* unit) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v < 10 ? 1 : 0) << v << ' ' << unit;
+  return os.str();
+}
+}  // namespace
+
+std::string rate_label(double bytes_per_second) {
+  const double gb = 1e9;
+  const double mb = 1e6;
+  if (bytes_per_second >= gb) return with_unit(bytes_per_second / gb, "GB/s");
+  if (bytes_per_second >= mb) return with_unit(bytes_per_second / mb, "MB/s");
+  return with_unit(bytes_per_second / 1e3, "KB/s");
+}
+
+std::string bytes_label(double bytes) {
+  if (bytes >= 1024.0 * 1024.0) return with_unit(bytes / (1024.0 * 1024.0), "MB");
+  if (bytes >= 1024.0) return with_unit(bytes / 1024.0, "KB");
+  return with_unit(bytes, "B");
+}
+
+std::string percent_label(double percent, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << percent << '%';
+  return os.str();
+}
+
+std::string time_label(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (seconds < 1e-6) {
+    os << seconds * 1e9 << "ns";
+  } else if (seconds < 1e-3) {
+    os << seconds * 1e6 << "us";
+  } else if (seconds < 1.0) {
+    os << seconds * 1e3 << "ms";
+  } else {
+    os << seconds << "s";
+  }
+  return os.str();
+}
+
+}  // namespace hfast::util

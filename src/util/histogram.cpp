@@ -1,0 +1,67 @@
+#include "hfast/util/histogram.hpp"
+
+#include <bit>
+
+#include "hfast/util/assert.hpp"
+#include "hfast/util/stats.hpp"
+
+namespace hfast::util {
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (const auto& [size, n] : other.counts_) {
+    counts_[size] += n;
+  }
+  total_ += other.total_;
+}
+
+std::vector<CdfPoint> LogHistogram::cdf() const {
+  std::vector<CdfPoint> out;
+  out.reserve(counts_.size());
+  std::uint64_t seen = 0;
+  for (const auto& [size, n] : counts_) {
+    seen += n;
+    out.push_back({size, 100.0 * static_cast<double>(seen) /
+                             static_cast<double>(total_)});
+  }
+  return out;
+}
+
+double LogHistogram::percent_at_or_below(std::uint64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t seen = 0;
+  for (const auto& [size, n] : counts_) {
+    if (size > threshold) break;
+    seen += n;
+  }
+  return 100.0 * static_cast<double>(seen) / static_cast<double>(total_);
+}
+
+std::uint64_t LogHistogram::median() const { return weighted_median(counts_); }
+
+std::uint64_t LogHistogram::min_size() const {
+  HFAST_EXPECTS(!counts_.empty());
+  return counts_.begin()->first;
+}
+
+std::uint64_t LogHistogram::max_size() const {
+  HFAST_EXPECTS(!counts_.empty());
+  return counts_.rbegin()->first;
+}
+
+std::uint64_t LogHistogram::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& [size, n] : counts_) sum += size * n;
+  return sum;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+LogHistogram::pow2_buckets() const {
+  std::map<std::uint64_t, std::uint64_t> buckets;
+  for (const auto& [size, n] : counts_) {
+    const std::uint64_t bound = size == 0 ? 0 : std::bit_ceil(size);
+    buckets[bound] += n;
+  }
+  return {buckets.begin(), buckets.end()};
+}
+
+}  // namespace hfast::util

@@ -1,0 +1,31 @@
+#include "hfast/util/random.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hfast::util {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  HFAST_EXPECTS(k <= n);
+  if (k == 0) return {};
+  // For dense samples, shuffle-and-truncate; for sparse ones, rejection.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    all.resize(k);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  while (chosen.size() < k) {
+    chosen.insert(static_cast<std::size_t>(uniform(n)));
+  }
+  std::vector<std::size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hfast::util

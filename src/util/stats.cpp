@@ -1,0 +1,53 @@
+#include "hfast/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::util {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double percentile(std::vector<double> v, double q) {
+  HFAST_EXPECTS(q >= 0.0 && q <= 100.0);
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+std::uint64_t weighted_median(
+    const std::map<std::uint64_t, std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [value, n] : counts) total += n;
+  if (total == 0) return 0;
+  const std::uint64_t target = (total + 1) / 2;  // lower median rank
+  std::uint64_t seen = 0;
+  for (const auto& [value, n] : counts) {
+    seen += n;
+    if (seen >= target) return value;
+  }
+  return counts.rbegin()->first;
+}
+
+}  // namespace hfast::util

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/graph/metrics.hpp"
+#include "hfast/graph/tdc.hpp"
+
+namespace hfast::apps {
+namespace {
+
+using analysis::run_experiment;
+
+TEST(AppRegistry, HasPaperTable2Entries) {
+  const auto& apps = registry();
+  ASSERT_EQ(apps.size(), 6u);
+  EXPECT_EQ(apps[0].info.name, "cactus");
+  EXPECT_EQ(apps[0].info.lines_of_code, 84000);
+  EXPECT_EQ(apps[1].info.name, "lbmhd");
+  EXPECT_EQ(apps[2].info.name, "gtc");
+  EXPECT_EQ(apps[3].info.name, "superlu");
+  EXPECT_EQ(apps[4].info.name, "pmemd");
+  EXPECT_EQ(apps[5].info.name, "paratec");
+  EXPECT_EQ(find("paratec").info.discipline, "Material Science");
+  EXPECT_THROW(find("nonsense"), Error);
+}
+
+TEST(AppRegistry, ConcurrencyValidation) {
+  EXPECT_TRUE(valid_concurrency(find("cactus"), 64));
+  EXPECT_TRUE(valid_concurrency(find("lbmhd"), 256));
+  EXPECT_FALSE(valid_concurrency(find("lbmhd"), 60));  // not square
+  EXPECT_TRUE(valid_concurrency(find("superlu"), 49));
+  EXPECT_FALSE(valid_concurrency(find("superlu"), 50));
+  EXPECT_TRUE(valid_concurrency(find("gtc"), 128));
+  EXPECT_FALSE(valid_concurrency(find("gtc"), 96));
+  EXPECT_FALSE(valid_concurrency(find("pmemd"), 2));
+  EXPECT_THROW(run_experiment("lbmhd", 60), Error);
+}
+
+TEST(Cactus, StencilStructure) {
+  const auto r = run_experiment("cactus", 27);  // 3x3x3 grid
+  const auto t = graph::tdc(r.comm_graph, 0);
+  EXPECT_EQ(t.max, 6);  // only the center rank has all six neighbors
+  EXPECT_LT(t.avg, 6.0);
+  // Threshold-insensitive: ghost faces are ~300 KB.
+  const auto t2k = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
+  EXPECT_EQ(t2k.max, t.max);
+  EXPECT_DOUBLE_EQ(t2k.avg, t.avg);
+  EXPECT_TRUE(graph::embeds_in_mesh(r.comm_graph, 0, /*torus=*/false));
+  EXPECT_GT(r.steady.ptp_call_percent(), 98.0);
+}
+
+TEST(Lbmhd, TwelveScatteredPartners) {
+  const auto r = run_experiment("lbmhd", 36);  // 6x6 grid
+  const auto t = graph::tdc(r.comm_graph, 0);
+  EXPECT_EQ(t.max, 12);
+  EXPECT_EQ(t.min, 12);  // periodic: perfectly regular
+  EXPECT_TRUE(graph::is_isotropic(r.comm_graph));
+  EXPECT_FALSE(graph::embeds_in_mesh(r.comm_graph));
+  EXPECT_EQ(r.steady.median_ptp_buffer(), 811u * 1024u);
+}
+
+TEST(Gtc, RingOnlyAtOneRankPerPlane) {
+  const auto r = run_experiment("gtc", 64);
+  const auto t = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
+  EXPECT_EQ(t.max, 2);
+  EXPECT_DOUBLE_EQ(t.avg, 2.0);
+  EXPECT_EQ(r.steady.median_ptp_buffer(), 128u * 1024u);
+  EXPECT_EQ(r.steady.median_collective_buffer(), 100u);
+  // Gather-dominated call mix (Figure 2).
+  EXPECT_GT(r.steady.calls_of(mpisim::CallType::kGather), 0u);
+  EXPECT_GT(r.steady.collective_call_percent(), 40.0);
+}
+
+TEST(Gtc, LeadersInflateMaxTdcAt128) {
+  const auto r = run_experiment("gtc", 128);  // 2 ranks per plane
+  const auto raw = graph::tdc(r.comm_graph, 0);
+  const auto cut = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
+  EXPECT_GT(raw.max, cut.max);  // diagnostics are sub-threshold
+  EXPECT_GT(cut.max, 2);        // spill traffic beyond the ring
+  EXPECT_LT(cut.avg, cut.max);  // anisotropic: case iii signature
+}
+
+TEST(Superlu, RowColumnThresholdStructure) {
+  const auto r = run_experiment("superlu", 64);
+  const auto raw = graph::tdc(r.comm_graph, 0);
+  const auto cut = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
+  EXPECT_EQ(raw.max, 63);  // tiny pivot messages touch everyone
+  EXPECT_EQ(cut.max, 14);  // 2*(sqrt(64)-1)
+  EXPECT_EQ(cut.min, 14);
+  // Median PTP buffer is the tiny notification size.
+  EXPECT_EQ(r.steady.median_ptp_buffer(), 64u);
+}
+
+TEST(Superlu, SqrtPScaling) {
+  const auto small = run_experiment("superlu", 16);
+  const auto large = run_experiment("superlu", 64);
+  const auto ts = graph::tdc(small.comm_graph, graph::kBdpCutoffBytes);
+  const auto tl = graph::tdc(large.comm_graph, graph::kBdpCutoffBytes);
+  EXPECT_EQ(ts.max, 6);   // 2*(4-1)
+  EXPECT_EQ(tl.max, 14);  // 2*(8-1)
+}
+
+TEST(Superlu, InitRegionExcludedFromSteadyState) {
+  const auto r = run_experiment("superlu", 16);
+  // Raw graph including init: rank 0 scattered 1 MB to everyone.
+  const auto all = graph::tdc(r.comm_graph_all, 1024 * 1024);
+  EXPECT_EQ(all.max, 15);
+  // Steady state has no 1 MB edges at all.
+  const auto steady = graph::tdc(r.comm_graph, 1024 * 1024);
+  EXPECT_EQ(steady.max, 0);
+}
+
+TEST(Pmemd, DistanceDecayAndMaster) {
+  const auto r = run_experiment("pmemd", 32);
+  const auto raw = graph::tdc(r.comm_graph, 0);
+  EXPECT_EQ(raw.max, 31);
+  EXPECT_EQ(raw.min, 31);  // everyone exchanges with everyone
+  // Rank 0's edges all stay above threshold (master floor).
+  const auto cut = r.comm_graph.partners(0, graph::kBdpCutoffBytes);
+  EXPECT_EQ(cut.size(), 31u);
+  EXPECT_GT(r.steady.calls_of(mpisim::CallType::kWaitany), 0u);
+}
+
+TEST(Paratec, GlobalTransposePlusBandDiagonal) {
+  const auto r = run_experiment("paratec", 16);
+  const auto raw = graph::tdc(r.comm_graph, 0);
+  const auto cut2k = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
+  const auto cut64k = graph::tdc(r.comm_graph, 64 * 1024);
+  EXPECT_EQ(raw.max, 15);
+  EXPECT_EQ(cut2k.max, 15);   // 32 KB transposes survive 2 KB
+  EXPECT_EQ(cut64k.max, 0);   // nothing above 64 KB
+  EXPECT_EQ(r.steady.median_ptp_buffer(), 64u);  // band packets dominate
+}
+
+TEST(AllApps, DeterministicAcrossRuns) {
+  for (const char* name : {"cactus", "gtc"}) {
+    const auto a = run_experiment(name, 16);
+    const auto b = run_experiment(name, 16);
+    EXPECT_EQ(a.steady.total_calls(), b.steady.total_calls()) << name;
+    EXPECT_EQ(a.comm_graph.num_edges(), b.comm_graph.num_edges()) << name;
+    EXPECT_EQ(a.comm_graph.total_bytes(), b.comm_graph.total_bytes()) << name;
+  }
+}
+
+TEST(AllApps, TraceAndProfileAgreeOnTransferCounts) {
+  const auto r = run_experiment("cactus", 16);
+  const auto steady_trace = r.trace.filter_region(kSteadyRegion);
+  std::uint64_t trace_sends = 0;
+  for (const auto& e : steady_trace.events()) {
+    if (e.kind == trace::EventKind::kSend) ++trace_sends;
+  }
+  std::uint64_t profile_sends = 0;
+  for (const auto& rank_sent : r.steady.sent()) {
+    for (const auto& [key, count] : rank_sent) profile_sends += count;
+  }
+  EXPECT_EQ(trace_sends, profile_sends);
+  EXPECT_EQ(steady_trace.total_ptp_bytes(), r.comm_graph.total_bytes());
+}
+
+}  // namespace
+}  // namespace hfast::apps

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/core/classify.hpp"
+
+namespace hfast::core {
+namespace {
+
+graph::CommGraph torus2d(int side) {
+  graph::CommGraph g(side * side);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      const int u = r * side + c;
+      g.add_message(u, r * side + (c + 1) % side, 8192);
+      g.add_message(u, ((r + 1) % side) * side + c, 8192);
+    }
+  }
+  return g;
+}
+
+graph::CommGraph diagonal(int side) {
+  graph::CommGraph g(side * side);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      const int u = r * side + c;
+      const int v = ((r + 1) % side) * side + (c + 1) % side;
+      const int w = ((r + 1) % side) * side + (c + side - 1) % side;
+      if (u != v) g.add_message(u, v, 8192);
+      if (u != w) g.add_message(u, w, 8192);
+    }
+  }
+  return g;
+}
+
+graph::CommGraph complete(int n) {
+  graph::CommGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.add_message(i, j, 32768);
+  }
+  return g;
+}
+
+graph::CommGraph ring_plus_master(int n) {
+  graph::CommGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_message(i, (i + 1) % n, 8192);
+  for (int i = 2; i < n - 1; ++i) g.add_message(0, i, 8192);
+  return g;
+}
+
+/// Degree ~ sqrt(P): row/column pattern on a square grid.
+graph::CommGraph rowcol(int side) {
+  graph::CommGraph g(side * side);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      const int u = r * side + c;
+      for (int k = c + 1; k < side; ++k) g.add_message(u, r * side + k, 8192);
+      for (int k = r + 1; k < side; ++k) g.add_message(u, k * side + c, 8192);
+    }
+  }
+  return g;
+}
+
+TEST(Classify, TorusIsCaseI) {
+  const auto cls = classify(torus2d(4), torus2d(8));
+  EXPECT_EQ(cls.comm_case, CommCase::kCaseI);
+  EXPECT_TRUE(cls.mesh_embeddable);
+  EXPECT_TRUE(cls.isotropic);
+  EXPECT_FALSE(cls.degree_scales_with_p);
+}
+
+TEST(Classify, DiagonalLatticeIsCaseII) {
+  const auto cls = classify(diagonal(6), diagonal(12));
+  EXPECT_EQ(cls.comm_case, CommCase::kCaseII);
+  EXPECT_FALSE(cls.mesh_embeddable);
+}
+
+TEST(Classify, MasterWorkerIsCaseIII) {
+  const auto cls = classify(ring_plus_master(16), ring_plus_master(64));
+  EXPECT_EQ(cls.comm_case, CommCase::kCaseIII);
+  EXPECT_GT(cls.tdc.max, 2 * cls.tdc.avg);
+}
+
+TEST(Classify, SqrtScalingIsCaseIII) {
+  const auto cls = classify(rowcol(4), rowcol(8));
+  EXPECT_EQ(cls.comm_case, CommCase::kCaseIII);
+  EXPECT_TRUE(cls.degree_scales_with_p);
+}
+
+TEST(Classify, FullConnectivityIsCaseIV) {
+  const auto cls = classify(complete(16), complete(32));
+  EXPECT_EQ(cls.comm_case, CommCase::kCaseIV);
+  EXPECT_DOUBLE_EQ(cls.fcn_utilization, 1.0);
+}
+
+TEST(Classify, SingleGraphOverloadWorks) {
+  const auto cls = classify(torus2d(8));
+  EXPECT_EQ(cls.comm_case, CommCase::kCaseI);
+  EXPECT_FALSE(cls.degree_scales_with_p);
+}
+
+TEST(Classify, OrderContract) {
+  EXPECT_THROW(classify(torus2d(8), torus2d(4)), ContractViolation);
+}
+
+TEST(Classify, ToStringCoversAllCases) {
+  for (auto c : {CommCase::kCaseI, CommCase::kCaseII, CommCase::kCaseIII,
+                 CommCase::kCaseIV}) {
+    EXPECT_FALSE(to_string(c).empty());
+  }
+}
+
+}  // namespace
+}  // namespace hfast::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include <set>
+
+#include "hfast/core/fabric.hpp"
+
+namespace hfast::core {
+namespace {
+
+TEST(SwitchBlock, PortLifecycle) {
+  SwitchBlock b(0, 4);
+  EXPECT_EQ(b.num_free(), 4);
+  const int h = b.attach_host(7);
+  EXPECT_EQ(b.port(h).use, PortUse::kHost);
+  EXPECT_EQ(b.port(h).host_node, 7);
+  const int t = b.attach_trunk({1, 0});
+  EXPECT_EQ(b.port(t).use, PortUse::kTrunk);
+  EXPECT_EQ(b.num_free(), 2);
+  EXPECT_EQ(b.num_host(), 1);
+  EXPECT_EQ(b.num_trunk(), 1);
+  EXPECT_EQ(b.hosted_nodes(), std::vector<int>{7});
+  b.release(t);
+  EXPECT_EQ(b.num_free(), 3);
+}
+
+TEST(SwitchBlock, ExhaustionThrows) {
+  SwitchBlock b(0, 2);
+  b.attach_host(0);
+  b.attach_host(1);
+  EXPECT_THROW(b.attach_host(2), ContractViolation);
+  EXPECT_THROW(b.attach_trunk({}), ContractViolation);
+}
+
+TEST(Fabric, PaperFigure1Examples) {
+  // Paper Figure 1 (right): 6 nodes, blocks of 4 ports. Nodes 1 and 2
+  // share SB1: a message crosses the circuit switch twice and one block.
+  // Node 1 -> node 6 goes SB1 -> SB2: 3 traversals, 2 blocks.
+  Fabric f(6, 4);
+  const int sb1 = f.add_block();
+  const int sb2 = f.add_block();
+  f.attach_host(0, sb1);  // node 1
+  f.attach_host(1, sb1);  // node 2
+  f.attach_host(5, sb2);  // node 6
+  f.connect_trunk(sb1, sb2);
+  f.validate();
+
+  const auto near = f.route(0, 1);
+  EXPECT_EQ(near.switch_hops(), 1);
+  EXPECT_EQ(near.circuit_traversals(), 2);
+
+  const auto far = f.route(0, 5);
+  EXPECT_EQ(far.switch_hops(), 2);
+  EXPECT_EQ(far.circuit_traversals(), 3);
+}
+
+TEST(Fabric, RouteRequiresAttachment) {
+  Fabric f(3, 4);
+  const int b = f.add_block();
+  f.attach_host(0, b);
+  EXPECT_THROW(f.route(0, 1), Error);  // node 1 unattached
+  EXPECT_FALSE(f.reachable(0, 1));
+}
+
+TEST(Fabric, DisconnectedBlocksUnreachable) {
+  Fabric f(2, 4);
+  const int a = f.add_block();
+  const int b = f.add_block();
+  f.attach_host(0, a);
+  f.attach_host(1, b);
+  EXPECT_FALSE(f.reachable(0, 1));
+  f.connect_trunk(a, b);
+  EXPECT_TRUE(f.reachable(0, 1));
+  EXPECT_EQ(f.trunks_between(a, b), 1);
+  f.connect_trunk(a, b);
+  EXPECT_EQ(f.trunks_between(a, b), 2);
+}
+
+TEST(Fabric, DoubleAttachRejected) {
+  Fabric f(2, 4);
+  const int a = f.add_block();
+  f.attach_host(0, a);
+  EXPECT_THROW(f.attach_host(0, a), ContractViolation);
+}
+
+TEST(Fabric, PortAccounting) {
+  Fabric f(4, 8);
+  const int a = f.add_block();
+  const int b = f.add_block();
+  f.attach_host(0, a);
+  f.attach_host(1, b);
+  f.connect_trunk(a, b);
+  EXPECT_EQ(f.packet_ports(), 16u);
+  EXPECT_EQ(f.circuit_ports(), 4u + 16u);
+  EXPECT_EQ(f.total_host_ports(), 2);
+  EXPECT_EQ(f.total_trunk_ports(), 2);
+  EXPECT_EQ(f.total_free_ports(), 12);
+  f.validate();
+}
+
+TEST(Fabric, ServesChecksEveryEdge) {
+  graph::CommGraph g(3);
+  g.add_message(0, 1, 4096);
+  g.add_message(1, 2, 100);  // below cutoff
+
+  Fabric f(3, 4);
+  const int a = f.add_block();
+  f.attach_host(0, a);
+  f.attach_host(1, a);
+  // Node 2 unattached: edge (1,2) unroutable, but it is under the cutoff.
+  const int b = f.add_block();
+  f.attach_host(2, b);
+  EXPECT_FALSE(f.serves(g, 0));     // raw graph includes (1,2)
+  EXPECT_TRUE(f.serves(g, 2048));   // thresholded graph only needs (0,1)
+}
+
+TEST(Fabric, MultiHopChainRoute) {
+  Fabric f(2, 4);
+  std::vector<int> chain;
+  for (int i = 0; i < 4; ++i) chain.push_back(f.add_block());
+  for (int i = 0; i + 1 < 4; ++i) f.connect_trunk(chain[i], chain[i + 1]);
+  f.attach_host(0, chain.front());
+  f.attach_host(1, chain.back());
+  const auto r = f.route(0, 1);
+  EXPECT_EQ(r.switch_hops(), 4);
+  EXPECT_EQ(r.circuit_traversals(), 5);
+  EXPECT_EQ(r.blocks, chain);
+  f.validate();
+}
+
+TEST(Fabric, ConstructionValidation) {
+  EXPECT_THROW(Fabric(0, 4), ContractViolation);
+  EXPECT_THROW(Fabric(4, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::core

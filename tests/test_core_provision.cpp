@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/core/provision.hpp"
+#include "hfast/graph/tdc.hpp"
+
+namespace hfast::core {
+namespace {
+
+graph::CommGraph ring(int n, std::uint64_t bytes = 4096) {
+  graph::CommGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_message(i, (i + 1) % n, bytes);
+  return g;
+}
+
+graph::CommGraph star(int n, std::uint64_t bytes = 4096) {
+  graph::CommGraph g(n);
+  for (int i = 1; i < n; ++i) g.add_message(0, i, bytes);
+  return g;
+}
+
+graph::CommGraph complete(int n, std::uint64_t bytes = 4096) {
+  graph::CommGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.add_message(i, j, bytes);
+  }
+  return g;
+}
+
+TEST(GreedyBlocksForDegree, MatchesPaperFormula) {
+  // Block size 16: one port to the host leaves degree 15 in one block;
+  // beyond that, chains expose 14 extra ports per block.
+  EXPECT_EQ(greedy_blocks_for_degree(0, 16), 1);
+  EXPECT_EQ(greedy_blocks_for_degree(6, 16), 1);
+  EXPECT_EQ(greedy_blocks_for_degree(15, 16), 1);
+  EXPECT_EQ(greedy_blocks_for_degree(16, 16), 2);
+  EXPECT_EQ(greedy_blocks_for_degree(29, 16), 2);
+  EXPECT_EQ(greedy_blocks_for_degree(30, 16), 3);
+  EXPECT_EQ(greedy_blocks_for_degree(255, 16), 19);  // ceil(254/14)
+  EXPECT_EQ(greedy_blocks_for_degree(3, 4), 1);
+  EXPECT_EQ(greedy_blocks_for_degree(4, 4), 2);
+}
+
+TEST(ProvisionGreedy, OneBlockPerNodeForBoundedTdc) {
+  const auto g = ring(8);
+  const auto prov = provision_greedy(g);
+  prov.fabric.validate();
+  // TDC 2 << 15: exactly one block per node (the Cactus worked example).
+  EXPECT_EQ(prov.stats.num_blocks, 8);
+  EXPECT_EQ(prov.stats.edges_provisioned, 8);
+  EXPECT_EQ(prov.stats.internal_edges, 0);
+  EXPECT_TRUE(prov.fabric.serves(g, graph::kBdpCutoffBytes));
+  // Every edge crosses exactly two blocks: 3 circuit traversals.
+  EXPECT_EQ(prov.stats.max_circuit_traversals, 3);
+  EXPECT_DOUBLE_EQ(prov.stats.avg_circuit_traversals, 3.0);
+}
+
+TEST(ProvisionGreedy, DedicatedTrunkPerEdge) {
+  const auto g = ring(6);
+  const auto prov = provision_greedy(g);
+  for (const auto& [uv, stats] : g.edges()) {
+    (void)stats;
+    const int bu = prov.fabric.home_block(uv.first);
+    const int bv = prov.fabric.home_block(uv.second);
+    EXPECT_EQ(prov.fabric.trunks_between(bu, bv), 1);
+  }
+}
+
+TEST(ProvisionGreedy, HighDegreeNodeGetsChain) {
+  // Star with center degree 20 > 15: the center needs a 2-block chain, the
+  // leaves one block each -> 21 + 2 = 23 blocks... (20 leaves + 2 center).
+  const auto g = star(21);
+  const auto prov = provision_greedy(g);
+  prov.fabric.validate();
+  EXPECT_EQ(prov.stats.num_blocks, 20 + greedy_blocks_for_degree(20, 16));
+  EXPECT_EQ(prov.stats.num_blocks, 22);
+  EXPECT_TRUE(prov.fabric.serves(g, 0));
+  // Edges landing on the chain's second block pay one extra hop.
+  EXPECT_EQ(prov.stats.max_switch_hops, 3);
+}
+
+TEST(ProvisionGreedy, BlockCountMatchesFormulaOnCompleteGraph) {
+  const auto g = complete(20);  // every node degree 19 -> 2 blocks each
+  const auto prov = provision_greedy(g);
+  prov.fabric.validate();
+  EXPECT_EQ(prov.stats.num_blocks, 20 * greedy_blocks_for_degree(19, 16));
+  EXPECT_TRUE(prov.fabric.serves(g, 0));
+}
+
+TEST(ProvisionGreedy, CutoffExcludesSmallEdges) {
+  graph::CommGraph g(4);
+  g.add_message(0, 1, 4096);
+  g.add_message(2, 3, 100);  // latency-bound: no circuit provisioned
+  ProvisionParams params;
+  const auto prov = provision_greedy(g, params);
+  EXPECT_EQ(prov.stats.edges_provisioned, 1);
+  EXPECT_TRUE(prov.fabric.serves(g, params.cutoff));
+  EXPECT_FALSE(prov.fabric.serves(g, 0));
+  // Isolated nodes still get a block (connectivity pool).
+  EXPECT_EQ(prov.stats.num_blocks, 4);
+}
+
+TEST(ProvisionClique, CompleteGraphSharesOneBlock) {
+  const auto g = complete(8);
+  const auto prov = provision_clique(g);
+  prov.fabric.validate();
+  // All 8 nodes fit one 16-port block; every edge is internal.
+  EXPECT_EQ(prov.stats.num_blocks, 1);
+  EXPECT_EQ(prov.stats.internal_edges, 28);
+  EXPECT_EQ(prov.stats.num_trunks, 0);
+  EXPECT_EQ(prov.stats.max_circuit_traversals, 2);
+  EXPECT_TRUE(prov.fabric.serves(g, 0));
+}
+
+TEST(ProvisionClique, NeverWorseThanTwiceOptimalOnRing) {
+  // A ring is triangle-free: cliques are edges, so pairs share blocks.
+  const auto g = ring(16);
+  const auto greedy = provision_greedy(g);
+  const auto clique = provision_clique(g);
+  clique.fabric.validate();
+  EXPECT_TRUE(clique.fabric.serves(g, graph::kBdpCutoffBytes));
+  EXPECT_LT(clique.stats.num_blocks, greedy.stats.num_blocks);
+  EXPECT_GT(clique.stats.internal_edges, 0);
+}
+
+TEST(ProvisionClique, HandlesHighDegreeViaExpansion) {
+  const auto g = star(40);  // center degree 39 > 15
+  const auto prov = provision_clique(g);
+  prov.fabric.validate();
+  EXPECT_TRUE(prov.fabric.serves(g, 0));
+}
+
+TEST(Provision, SmallBlockSizesStillServe) {
+  const auto g = complete(10);
+  for (int size : {4, 5, 8}) {
+    ProvisionParams params;
+    params.block_size = size;
+    for (auto strategy : {ProvisionStrategy::kGreedyPerNode,
+                          ProvisionStrategy::kCliqueShared}) {
+      const auto prov = provision(g, params, strategy);
+      prov.fabric.validate();
+      EXPECT_TRUE(prov.fabric.serves(g, 0))
+          << "size=" << size << " strategy=" << static_cast<int>(strategy);
+    }
+  }
+}
+
+TEST(Provision, PortBudgetsNeverExceeded) {
+  const auto g = complete(12);
+  for (auto strategy : {ProvisionStrategy::kGreedyPerNode,
+                        ProvisionStrategy::kCliqueShared}) {
+    const auto prov = provision(g, {}, strategy);
+    for (int b = 0; b < prov.fabric.num_blocks(); ++b) {
+      const auto& blk = prov.fabric.block(b);
+      EXPECT_EQ(blk.num_free() + blk.num_host() + blk.num_trunk(),
+                blk.num_ports());
+      EXPECT_GE(blk.num_free(), 0);
+    }
+  }
+}
+
+TEST(Provision, RejectsTinyBlocks) {
+  EXPECT_THROW(provision(ring(4), ProvisionParams{.block_size = 3},
+                         ProvisionStrategy::kGreedyPerNode),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::core

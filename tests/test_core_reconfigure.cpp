@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "hfast/core/reconfigure.hpp"
+
+namespace hfast::core {
+namespace {
+
+graph::CommGraph window_with_edges(
+    int n, const std::vector<std::pair<int, int>>& edges,
+    std::uint64_t bytes = 8192) {
+  graph::CommGraph g(n);
+  for (const auto& [u, v] : edges) g.add_message(u, v, bytes);
+  return g;
+}
+
+TEST(Reconfigure, StablePatternReconfiguresOnce) {
+  std::vector<graph::CommGraph> windows;
+  for (int w = 0; w < 4; ++w) {
+    windows.push_back(window_with_edges(4, {{0, 1}, {2, 3}}));
+  }
+  const auto report = plan_reconfigurations(windows);
+  // Window 0 is setup, later windows change nothing.
+  EXPECT_EQ(report.total_reconfigurations, 0);
+  EXPECT_EQ(report.total_added, 2);
+  EXPECT_EQ(report.total_removed, 0);
+  EXPECT_EQ(report.peak_circuits, 2);
+  EXPECT_EQ(report.static_circuits, 2);
+}
+
+TEST(Reconfigure, PhaseChangeSwapsCircuits) {
+  std::vector<graph::CommGraph> windows;
+  windows.push_back(window_with_edges(4, {{0, 1}}));
+  windows.push_back(window_with_edges(4, {{0, 1}}));
+  windows.push_back(window_with_edges(4, {{2, 3}}));  // phase shift
+  windows.push_back(window_with_edges(4, {{2, 3}}));
+  ReconfigParams params;
+  params.hysteresis_windows = 0;
+  const auto report = plan_reconfigurations(windows, params);
+  EXPECT_EQ(report.total_added, 2);
+  EXPECT_EQ(report.total_removed, 1);  // {0,1} torn down after going idle
+  EXPECT_GT(report.total_reconfigurations, 0);
+  EXPECT_EQ(report.peak_circuits, 1);
+  EXPECT_EQ(report.static_circuits, 2);
+  EXPECT_DOUBLE_EQ(report.reconfig_time_seconds,
+                   params.reconfig_seconds * report.total_reconfigurations);
+}
+
+TEST(Reconfigure, HysteresisDelaysTeardown) {
+  std::vector<graph::CommGraph> windows;
+  windows.push_back(window_with_edges(4, {{0, 1}}));
+  windows.push_back(window_with_edges(4, {{2, 3}}));
+  windows.push_back(window_with_edges(4, {{0, 1}}));  // comes back
+  windows.push_back(window_with_edges(4, {{2, 3}}));
+
+  ReconfigParams eager;
+  eager.hysteresis_windows = 0;
+  const auto flappy = plan_reconfigurations(windows, eager);
+
+  ReconfigParams patient;
+  patient.hysteresis_windows = 2;
+  const auto calm = plan_reconfigurations(windows, patient);
+
+  EXPECT_GT(flappy.total_removed, calm.total_removed);
+  EXPECT_GE(calm.peak_circuits, flappy.peak_circuits);
+}
+
+TEST(Reconfigure, CutoffFiltersSmallTraffic) {
+  std::vector<graph::CommGraph> windows;
+  windows.push_back(window_with_edges(4, {{0, 1}}, /*bytes=*/100));
+  const auto report = plan_reconfigurations(windows);
+  EXPECT_EQ(report.peak_circuits, 0);  // nothing above 2 KB
+  EXPECT_EQ(report.static_circuits, 0);
+}
+
+TEST(Reconfigure, EmptyInput) {
+  const auto report = plan_reconfigurations({});
+  EXPECT_TRUE(report.deltas.empty());
+  EXPECT_EQ(report.total_reconfigurations, 0);
+}
+
+TEST(Reconfigure, ActiveCountTracksAddsAndRemoves) {
+  std::vector<graph::CommGraph> windows;
+  windows.push_back(window_with_edges(6, {{0, 1}, {2, 3}, {4, 5}}));
+  windows.push_back(window_with_edges(6, {{0, 1}}));
+  windows.push_back(window_with_edges(6, {{0, 1}}));
+  ReconfigParams params;
+  params.hysteresis_windows = 0;
+  const auto report = plan_reconfigurations(windows, params);
+  ASSERT_EQ(report.deltas.size(), 3u);
+  EXPECT_EQ(report.deltas[0].circuits_active, 3);
+  // With zero hysteresis, circuits idle in window 1 are torn down there.
+  EXPECT_EQ(report.deltas[1].circuits_active, 1);
+  EXPECT_EQ(report.deltas[1].circuits_removed, 2);
+  EXPECT_EQ(report.deltas[2].circuits_active, 1);
+}
+
+}  // namespace
+}  // namespace hfast::core

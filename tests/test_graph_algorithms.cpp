@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "hfast/graph/clique.hpp"
+#include "hfast/graph/contraction.hpp"
+#include "hfast/graph/metrics.hpp"
+
+namespace hfast::graph {
+namespace {
+
+CommGraph complete_graph(int n) {
+  CommGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.add_message(i, j, 4096);
+  }
+  return g;
+}
+
+CommGraph ring(int n) {
+  CommGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_message(i, (i + 1) % n, 4096);
+  return g;
+}
+
+TEST(CliqueCover, CompleteGraphIsOneClique) {
+  const auto g = complete_graph(6);
+  const auto cover = greedy_edge_clique_cover(g, 8);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].members.size(), 6u);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+}
+
+TEST(CliqueCover, RespectsMaxSize) {
+  const auto g = complete_graph(8);
+  const auto cover = greedy_edge_clique_cover(g, 4);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+  for (const auto& c : cover) {
+    EXPECT_LE(c.members.size(), 4u);
+  }
+  EXPECT_GT(cover.size(), 1u);
+}
+
+TEST(CliqueCover, TriangleFreeGraphYieldsEdges) {
+  const auto g = ring(6);  // no triangles
+  const auto cover = greedy_edge_clique_cover(g, 8);
+  EXPECT_EQ(cover.size(), g.num_edges());
+  for (const auto& c : cover) EXPECT_EQ(c.members.size(), 2u);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+}
+
+TEST(CliqueCover, ValidatorRejectsNonCover) {
+  const auto g = ring(4);
+  std::vector<Clique> partial{{{0, 1}}};
+  EXPECT_FALSE(is_valid_clique_cover(g, partial));
+  std::vector<Clique> notclique{{{0, 2}}};  // 0-2 not an edge in the 4-ring
+  EXPECT_FALSE(is_valid_clique_cover(g, notclique));
+}
+
+TEST(CliqueCover, EmptyGraph) {
+  CommGraph g(4);
+  EXPECT_TRUE(greedy_edge_clique_cover(g, 4).empty());
+}
+
+TEST(Contraction, RingContractsForAnyK) {
+  // A ring's blocks of size k have external degree 2 <= k for k >= 2.
+  const auto g = ring(12);
+  for (int k : {2, 3, 4, 6}) {
+    const auto res = bounded_contraction(g, k);
+    EXPECT_TRUE(res.feasible) << "k=" << k;
+    EXPECT_LE(res.worst_external_degree, k);
+    // Every node assigned to exactly one block.
+    for (int b : res.block_of) EXPECT_GE(b, 0);
+  }
+}
+
+TEST(Contraction, CompleteGraphInfeasibleForSmallK) {
+  const auto g = complete_graph(12);
+  const auto res = bounded_contraction(g, 3);
+  EXPECT_FALSE(res.feasible);  // each 3-block sees 9 outside partners
+  EXPECT_GT(res.worst_external_degree, 3);
+}
+
+TEST(Contraction, BlockSizesBounded) {
+  const auto g = ring(10);
+  const auto res = bounded_contraction(g, 3);
+  std::map<int, int> sizes;
+  for (int b : res.block_of) ++sizes[b];
+  for (const auto& [block, size] : sizes) {
+    EXPECT_LE(size, 3) << "block " << block;
+  }
+}
+
+TEST(Metrics, RingIsIsotropicStarIsNot) {
+  EXPECT_TRUE(is_isotropic(ring(8)));
+  CommGraph star(8);
+  for (int i = 1; i < 8; ++i) star.add_message(0, i, 4096);
+  EXPECT_FALSE(is_isotropic(star, 0, 0.2));
+}
+
+TEST(Metrics, GridFactorizations) {
+  const auto f12 = grid_factorizations(12);
+  // Contains {12}, {3,4}, {4,3}, {2,6}, {6,2}, {2,2,3}, ...
+  EXPECT_NE(std::find(f12.begin(), f12.end(), std::vector<int>{12}), f12.end());
+  EXPECT_NE(std::find(f12.begin(), f12.end(), std::vector<int>{3, 4}),
+            f12.end());
+  EXPECT_NE(std::find(f12.begin(), f12.end(), std::vector<int>{2, 2, 3}),
+            f12.end());
+}
+
+TEST(Metrics, TorusNeighborGraphEmbedsInMesh) {
+  // 2D 4x4 torus neighbor traffic.
+  CommGraph g(16);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const int u = r * 4 + c;
+      g.add_message(u, r * 4 + (c + 1) % 4, 4096);
+      g.add_message(u, ((r + 1) % 4) * 4 + c, 4096);
+    }
+  }
+  EXPECT_TRUE(embeds_in_mesh(g));
+}
+
+TEST(Metrics, DiagonalPatternDoesNotEmbed) {
+  // 4x4 grid with only diagonal exchanges (LBMHD-like): not unit steps.
+  CommGraph g(16);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const int u = r * 4 + c;
+      const int v = ((r + 1) % 4) * 4 + (c + 1) % 4;
+      if (u != v) g.add_message(u, v, 4096);
+    }
+  }
+  EXPECT_FALSE(embeds_in_mesh(g));
+}
+
+TEST(Metrics, ConnectedComponents) {
+  EXPECT_EQ(connected_components(ring(8)), 1);
+  EXPECT_TRUE(is_connected(ring(8)));
+  CommGraph two(6);
+  two.add_message(0, 1, 4096);
+  two.add_message(1, 2, 4096);
+  two.add_message(3, 4, 4096);
+  // Components: {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(connected_components(two), 3);
+  EXPECT_FALSE(is_connected(two));
+  // Thresholding can disconnect: the bridging edge is latency-bound.
+  CommGraph bridged(4);
+  bridged.add_message(0, 1, 8192);
+  bridged.add_message(2, 3, 8192);
+  bridged.add_message(1, 2, 128);
+  EXPECT_TRUE(is_connected(bridged, 0));
+  EXPECT_FALSE(is_connected(bridged, 2048));
+  // Degenerate graphs.
+  EXPECT_TRUE(is_connected(CommGraph(0)));
+  EXPECT_TRUE(is_connected(CommGraph(1)));
+}
+
+TEST(Metrics, DegreeCv) {
+  EXPECT_DOUBLE_EQ(degree_cv(ring(8)), 0.0);
+  CommGraph star(8);
+  for (int i = 1; i < 8; ++i) star.add_message(0, i, 4096);
+  EXPECT_GT(degree_cv(star), 0.5);
+}
+
+}  // namespace
+}  // namespace hfast::graph

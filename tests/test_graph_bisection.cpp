@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/graph/bisection.hpp"
+
+namespace hfast::graph {
+namespace {
+
+TEST(Bisection, RingCutsExactlyTwoEdges) {
+  CommGraph g(16);
+  for (int i = 0; i < 16; ++i) g.add_message(i, (i + 1) % 16, 1000);
+  const auto b = min_bisection(g);
+  EXPECT_EQ(b.cut_bytes, 2000u);  // any contiguous half cuts 2 edges
+  EXPECT_EQ(b.total_bytes, 16000u);
+  EXPECT_NEAR(b.demand_fraction(), 2.0 / 16.0, 1e-12);
+  // Balanced.
+  int ones = 0;
+  for (bool s : b.side) ones += s ? 1 : 0;
+  EXPECT_EQ(ones, 8);
+}
+
+TEST(Bisection, CompleteGraphDemandsHalfTheTraffic) {
+  CommGraph g(12);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i + 1; j < 12; ++j) g.add_message(i, j, 100);
+  }
+  const auto b = min_bisection(g);
+  // Any balanced cut of K12 crosses 6*6 = 36 of 66 edges.
+  EXPECT_EQ(b.cut_bytes, 3600u);
+  EXPECT_NEAR(b.demand_fraction(), 36.0 / 66.0, 1e-12);
+}
+
+TEST(Bisection, TwoClustersSplitCleanly) {
+  // Two dense 6-cliques joined by one thin edge: the bisection must cut
+  // only the bridge.
+  CommGraph g(12);
+  for (int base : {0, 6}) {
+    for (int i = 0; i < 6; ++i) {
+      for (int j = i + 1; j < 6; ++j) {
+        g.add_message(base + i, base + j, 10000);
+      }
+    }
+  }
+  g.add_message(0, 6, 7);
+  const auto b = min_bisection(g);
+  EXPECT_EQ(b.cut_bytes, 7u);
+  EXPECT_NE(b.side[0], b.side[6]);
+  EXPECT_EQ(b.side[0], b.side[5]);
+}
+
+TEST(Bisection, WeightsMatterNotEdgeCounts) {
+  // A heavy edge must not be cut even if that costs several light edges.
+  CommGraph g(4);
+  g.add_message(0, 1, 1000000);  // heavy pair
+  g.add_message(0, 2, 1);
+  g.add_message(0, 3, 1);
+  g.add_message(1, 2, 1);
+  g.add_message(1, 3, 1);
+  const auto b = min_bisection(g);
+  EXPECT_EQ(b.side[0], b.side[1]);
+  EXPECT_EQ(b.cut_bytes, 4u);
+}
+
+TEST(Bisection, DegenerateInputs) {
+  CommGraph empty(0);
+  EXPECT_EQ(min_bisection(empty).cut_bytes, 0u);
+  CommGraph one(1);
+  EXPECT_EQ(min_bisection(one).cut_bytes, 0u);
+  CommGraph disconnected(4);
+  EXPECT_EQ(min_bisection(disconnected).cut_bytes, 0u);
+  EXPECT_DOUBLE_EQ(min_bisection(disconnected).demand_fraction(), 0.0);
+}
+
+TEST(Bisection, OddNodeCountsBalanceWithinOne) {
+  CommGraph g(7);
+  for (int i = 0; i < 7; ++i) g.add_message(i, (i + 1) % 7, 10);
+  const auto b = min_bisection(g);
+  int ones = 0;
+  for (bool s : b.side) ones += s ? 1 : 0;
+  EXPECT_TRUE(ones == 3 || ones == 4);
+}
+
+}  // namespace
+}  // namespace hfast::graph

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/graph/tdc.hpp"
+
+namespace hfast::graph {
+namespace {
+
+TEST(CommGraph, EdgesAreUndirectedAndAggregated) {
+  CommGraph g(4);
+  g.add_message(0, 1, 100);
+  g.add_message(1, 0, 200);  // same edge, other direction
+  EXPECT_EQ(g.num_edges(), 1u);
+  const EdgeStats* e = g.edge(0, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->messages, 2u);
+  EXPECT_EQ(e->bytes, 300u);
+  EXPECT_EQ(e->max_message, 200u);
+  EXPECT_EQ(g.edge(1, 0), e);
+  EXPECT_EQ(g.edge(2, 3), nullptr);
+}
+
+TEST(CommGraph, SelfAndOutOfRangeRejected) {
+  CommGraph g(3);
+  EXPECT_THROW(g.add_message(1, 1, 10), ContractViolation);
+  EXPECT_THROW(g.add_message(0, 3, 10), ContractViolation);
+}
+
+TEST(CommGraph, PartnersRespectCutoff) {
+  CommGraph g(4);
+  g.add_message(0, 1, 100);
+  g.add_message(0, 2, 5000);
+  g.add_message(0, 3, 2048);
+  EXPECT_EQ(g.partners(0).size(), 3u);
+  const auto big = g.partners(0, 2048);
+  ASSERT_EQ(big.size(), 2u);
+  EXPECT_EQ(big[0], 2);
+  EXPECT_EQ(big[1], 3);
+}
+
+TEST(CommGraph, CutoffUsesMaxMessageOnEdge) {
+  CommGraph g(2);
+  g.add_message(0, 1, 100, 1000);  // many small
+  g.add_message(0, 1, 4096, 1);   // one big: edge survives 2 KB cutoff
+  EXPECT_EQ(g.degrees(2048)[0], 1);
+}
+
+TEST(CommGraph, DegreesAndVolumeMatrix) {
+  CommGraph g(3);
+  g.add_message(0, 1, 10);
+  g.add_message(1, 2, 20);
+  const auto deg = g.degrees();
+  EXPECT_EQ(deg, (std::vector<int>{1, 2, 1}));
+  const auto vol = g.volume_matrix();
+  EXPECT_DOUBLE_EQ(vol[0][1], 10.0);
+  EXPECT_DOUBLE_EQ(vol[1][0], 10.0);
+  EXPECT_DOUBLE_EQ(vol[1][2], 20.0);
+  EXPECT_DOUBLE_EQ(vol[0][2], 0.0);
+  EXPECT_EQ(g.total_bytes(), 30u);
+}
+
+TEST(CommGraph, ThresholdedSubgraph) {
+  CommGraph g(4);
+  g.add_message(0, 1, 100);
+  g.add_message(2, 3, 8192);
+  const auto t = g.thresholded(2048);
+  EXPECT_EQ(t.num_edges(), 1u);
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_NE(t.edge(2, 3), nullptr);
+  EXPECT_EQ(t.edge(0, 1), nullptr);
+}
+
+TEST(Tdc, StatsOnRing) {
+  CommGraph g(6);
+  for (int i = 0; i < 6; ++i) g.add_message(i, (i + 1) % 6, 4096);
+  const auto t = tdc(g);
+  EXPECT_EQ(t.max, 2);
+  EXPECT_EQ(t.min, 2);
+  EXPECT_DOUBLE_EQ(t.avg, 2.0);
+  EXPECT_EQ(t.median, 2);
+}
+
+TEST(Tdc, SweepIsMonotoneNonIncreasing) {
+  CommGraph g(8);
+  for (int i = 1; i < 8; ++i) g.add_message(0, i, 1u << (6 + i));
+  const auto sweep = tdc_sweep(g);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].stats.max, sweep[i - 1].stats.max);
+    EXPECT_LE(sweep[i].stats.avg, sweep[i - 1].stats.avg);
+  }
+  EXPECT_EQ(sweep.front().cutoff, 0u);
+  EXPECT_EQ(sweep.back().cutoff, 1024u * 1024u);
+}
+
+TEST(Tdc, StandardCutoffsMatchPaperAxis) {
+  const auto c = standard_cutoffs();
+  ASSERT_EQ(c.size(), 15u);  // 0, 128 ... 1024k
+  EXPECT_EQ(c[0], 0u);
+  EXPECT_EQ(c[1], 128u);
+  EXPECT_EQ(c.back(), 1024u * 1024u);
+}
+
+TEST(Tdc, FcnUtilization) {
+  CommGraph g(5);  // star: center talks to everyone
+  for (int i = 1; i < 5; ++i) g.add_message(0, i, 4096);
+  // degrees: 4,1,1,1,1 -> avg 1.6; P-1 = 4.
+  EXPECT_NEAR(fcn_utilization(g, 0), 1.6 / 4.0, 1e-12);
+  CommGraph full(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) full.add_message(i, j, 4096);
+  }
+  EXPECT_DOUBLE_EQ(fcn_utilization(full, 0), 1.0);
+}
+
+TEST(CommGraph, FromProfileSkipsSelfTraffic) {
+  ipm::RankProfile p0(0), p1(1);
+  p0.on_message(1, 100, true);
+  p0.on_message(0, 999, true);  // self: must not become an edge
+  p1.on_message(0, 50, true);
+  const ipm::RankProfile* ranks[] = {&p0, &p1};
+  const auto w = ipm::WorkloadProfile::merge(ranks);
+  const auto g = CommGraph::from_profile(w);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(0, 1)->bytes, 150u);
+}
+
+}  // namespace
+}  // namespace hfast::graph

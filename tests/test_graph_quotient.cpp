@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include <map>
+
+#include "hfast/graph/quotient.hpp"
+#include "hfast/graph/tdc.hpp"
+
+namespace hfast::graph {
+namespace {
+
+CommGraph ring(int n, std::uint64_t bytes = 8192) {
+  CommGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_message(i, (i + 1) % n, bytes);
+  return g;
+}
+
+TEST(Quotient, ExplicitMappingContractsEdges) {
+  // 4-ring onto 2 nodes: {0,1} and {2,3}.
+  const auto g = ring(4);
+  const auto q = quotient_graph(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(q.graph.num_nodes(), 2);
+  EXPECT_EQ(q.graph.num_edges(), 1u);  // edges (1,2) and (3,0) merge
+  EXPECT_EQ(q.internal_bytes, 2u * 8192u);  // (0,1) and (2,3) absorbed
+  EXPECT_EQ(q.graph.edge(0, 1)->bytes, 2u * 8192u);
+}
+
+TEST(Quotient, ConservesTraffic) {
+  const auto g = ring(12, 1000);
+  for (int cores : {2, 3, 4, 6}) {
+    const auto q = quotient_by_blocks(g, cores);
+    EXPECT_EQ(q.internal_bytes + q.graph.total_bytes(), g.total_bytes())
+        << cores;
+  }
+}
+
+TEST(Quotient, PreservesMaxMessageForThresholding) {
+  CommGraph g(4);
+  g.add_message(0, 2, 100, 50);   // many small across the cut
+  g.add_message(1, 3, 8192, 1);   // one big across the cut
+  const auto q = quotient_graph(g, {0, 0, 1, 1}, 2);
+  // The quotient edge keeps a >=8192-byte max message, so the 2 KB
+  // threshold still sees it.
+  EXPECT_GE(q.graph.edge(0, 1)->max_message, 8192u);
+  EXPECT_EQ(tdc(q.graph, kBdpCutoffBytes).max, 1);
+}
+
+TEST(Quotient, BlockPackingShapesRing) {
+  // A 16-ring at 4 tasks/node becomes a 4-ring.
+  const auto g = ring(16);
+  const auto q = quotient_by_blocks(g, 4);
+  EXPECT_EQ(q.graph.num_nodes(), 4);
+  const auto t = tdc(q.graph, 0);
+  EXPECT_EQ(t.max, 2);
+  EXPECT_EQ(t.min, 2);
+  EXPECT_EQ(q.internal_bytes, 12u * 8192u);  // 3 internal edges per node
+}
+
+TEST(Quotient, AffinityAbsorbsAtLeastAsMuchAsRankOrderOnRing) {
+  const auto g = ring(16);
+  const auto naive = quotient_by_blocks(g, 4);
+  const auto affine = quotient_by_affinity(g, 4);
+  EXPECT_GE(affine.internal_bytes, naive.internal_bytes);
+  EXPECT_EQ(affine.graph.num_nodes(), naive.graph.num_nodes());
+  // Every task assigned, capacity respected.
+  std::map<int, int> load;
+  for (int nd : affine.node_of_task) ++load[nd];
+  for (const auto& [node, count] : load) {
+    EXPECT_LE(count, 4) << "node " << node;
+  }
+}
+
+TEST(Quotient, AffinityPrefersHeavyEdges) {
+  // Two heavy pairs plus light cross traffic: affinity must co-locate the
+  // heavy pairs.
+  CommGraph g(4);
+  g.add_message(0, 3, 1000000);
+  g.add_message(1, 2, 1000000);
+  g.add_message(0, 1, 10);
+  g.add_message(2, 3, 10);
+  const auto q = quotient_by_affinity(g, 2);
+  EXPECT_EQ(q.node_of_task[0], q.node_of_task[3]);
+  EXPECT_EQ(q.node_of_task[1], q.node_of_task[2]);
+  EXPECT_EQ(q.internal_bytes, 2000000u);
+}
+
+TEST(Quotient, InputValidation) {
+  const auto g = ring(4);
+  EXPECT_THROW(quotient_graph(g, {0, 0, 1}, 2), ContractViolation);
+  EXPECT_THROW(quotient_graph(g, {0, 0, 1, 5}, 2), ContractViolation);
+  EXPECT_THROW(quotient_by_blocks(g, 0), ContractViolation);
+}
+
+TEST(Quotient, SingleCorePerNodeIsIdentity) {
+  const auto g = ring(6);
+  const auto q = quotient_by_blocks(g, 1);
+  EXPECT_EQ(q.graph.num_nodes(), 6);
+  EXPECT_EQ(q.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(q.internal_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace hfast::graph

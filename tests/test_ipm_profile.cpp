@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "hfast/ipm/profile.hpp"
+#include "hfast/util/assert.hpp"
+#include "hfast/ipm/report.hpp"
+
+namespace hfast::ipm {
+namespace {
+
+using mpisim::CallType;
+
+TEST(CallTable, AggregatesIdenticalSignatures) {
+  CallTable t(64);
+  t.record(CallType::kSend, 3, 1024, 0, 0.5);
+  t.record(CallType::kSend, 3, 1024, 0, 1.5);
+  t.record(CallType::kSend, 3, 2048, 0, 1.0);  // different size: new entry
+  const auto recs = t.records();
+  ASSERT_EQ(recs.size(), 2u);
+  for (const auto& r : recs) {
+    if (r.bytes == 1024) {
+      EXPECT_EQ(r.count, 2u);
+      EXPECT_DOUBLE_EQ(r.time_total, 2.0);
+      EXPECT_DOUBLE_EQ(r.time_min, 0.5);
+      EXPECT_DOUBLE_EQ(r.time_max, 1.5);
+    } else {
+      EXPECT_EQ(r.count, 1u);
+    }
+  }
+}
+
+TEST(CallTable, FixedFootprintDropsOnOverflow) {
+  CallTable t(16);  // tiny table
+  for (int i = 0; i < 100; ++i) {
+    t.record(CallType::kSend, i, 8, 0, 0.0);
+  }
+  EXPECT_LE(t.size(), t.capacity() - 1);
+  EXPECT_GT(t.dropped(), 0u);
+  // Existing entries keep aggregating even when the table is full.
+  const auto before = t.records();
+  t.record(CallType::kSend, before[0].peer, before[0].bytes, 0, 0.0);
+  std::uint64_t count_after = 0;
+  for (const auto& r : t.records()) {
+    if (r.peer == before[0].peer && r.bytes == before[0].bytes) {
+      count_after = r.count;
+    }
+  }
+  EXPECT_EQ(count_after, before[0].count + 1);
+}
+
+TEST(CallTable, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(CallTable t(100), ContractViolation);
+  EXPECT_THROW(CallTable t(8), ContractViolation);
+}
+
+TEST(RankProfile, RegionsSeparateActivity) {
+  RankProfile p(0);
+  p.on_region("init", true);
+  p.on_call(CallType::kSend, 1, 1000, 0.0);
+  p.on_message(1, 1000, true);
+  p.on_region("init", false);
+  p.on_region("steady", true);
+  p.on_call(CallType::kSend, 2, 2000, 0.0);
+  p.on_message(2, 2000, true);
+  p.on_region("steady", false);
+
+  RegionId init_id = 0, steady_id = 0;
+  ASSERT_TRUE(p.find_region("init", init_id));
+  ASSERT_TRUE(p.find_region("steady", steady_id));
+  EXPECT_NE(init_id, steady_id);
+
+  int init_records = 0, steady_records = 0;
+  for (const auto& r : p.call_records()) {
+    if (r.region == init_id) ++init_records;
+    if (r.region == steady_id) ++steady_records;
+  }
+  EXPECT_EQ(init_records, 1);
+  EXPECT_EQ(steady_records, 1);
+}
+
+TEST(RankProfile, MismatchedRegionEndThrows) {
+  RankProfile p(0);
+  EXPECT_THROW(p.on_region("x", false), ContractViolation);
+  p.on_region("a", true);
+  EXPECT_THROW(p.on_region("b", false), ContractViolation);
+}
+
+TEST(RankProfile, OnlySendsContributeToTopologyData) {
+  RankProfile p(0);
+  p.on_message(1, 100, /*is_send=*/true);
+  p.on_message(2, 100, /*is_send=*/false);  // receive: not recorded
+  EXPECT_EQ(p.sent_messages().size(), 1u);
+  EXPECT_EQ(p.sent_messages().begin()->first.peer, 1);
+}
+
+TEST(WorkloadProfile, MergeComputesBreakdownAndPercentages) {
+  RankProfile a(0), b(1);
+  for (int i = 0; i < 9; ++i) a.on_call(CallType::kIsend, 1, 4096, 0.0);
+  a.on_call(CallType::kAllreduce, mpisim::kNoPeer, 8, 0.0);
+  for (int i = 0; i < 9; ++i) b.on_call(CallType::kIrecv, 0, 4096, 0.0);
+  b.on_call(CallType::kAllreduce, mpisim::kNoPeer, 8, 0.0);
+
+  const RankProfile* ranks[] = {&a, &b};
+  const auto w = WorkloadProfile::merge(ranks);
+  EXPECT_EQ(w.total_calls(), 20u);
+  EXPECT_DOUBLE_EQ(w.ptp_call_percent(), 90.0);
+  EXPECT_DOUBLE_EQ(w.collective_call_percent(), 10.0);
+  EXPECT_EQ(w.calls_of(CallType::kIsend), 9u);
+  EXPECT_EQ(w.median_ptp_buffer(), 4096u);
+  EXPECT_EQ(w.median_collective_buffer(), 8u);
+
+  const auto breakdown = w.call_breakdown(0.0);
+  ASSERT_EQ(breakdown.size(), 3u);
+  EXPECT_EQ(breakdown[0].count, 9u);  // sorted by count desc
+}
+
+TEST(WorkloadProfile, BreakdownFoldsSmallEntriesIntoOther) {
+  RankProfile a(0);
+  for (int i = 0; i < 99; ++i) a.on_call(CallType::kIsend, 1, 8, 0.0);
+  a.on_call(CallType::kBarrier, mpisim::kNoPeer, 0, 0.0);
+  const RankProfile* ranks[] = {&a};
+  const auto w = WorkloadProfile::merge(ranks);
+  const auto breakdown = w.call_breakdown(5.0);
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown.back().call, CallType::kCount);  // "Other"
+  EXPECT_EQ(breakdown.back().count, 1u);
+}
+
+TEST(WorkloadProfile, RegionFilterSelectsActivity) {
+  RankProfile a(0);
+  a.on_region("init", true);
+  for (int i = 0; i < 5; ++i) {
+    a.on_call(CallType::kSend, 1, 1000, 0.0);
+    a.on_message(1, 1000, true);
+  }
+  a.on_region("init", false);
+  a.on_region("steady", true);
+  a.on_call(CallType::kSend, 2, 64, 0.0);
+  a.on_message(2, 64, true);
+  a.on_region("steady", false);
+
+  const RankProfile* ranks[] = {&a};
+  const auto steady = WorkloadProfile::merge(ranks, "steady");
+  EXPECT_EQ(steady.total_calls(), 1u);
+  EXPECT_EQ(steady.median_ptp_buffer(), 64u);
+  ASSERT_EQ(steady.sent().size(), 1u);
+  EXPECT_EQ(steady.sent()[0].size(), 1u);
+
+  const auto all = WorkloadProfile::merge(ranks, "");
+  EXPECT_EQ(all.total_calls(), 6u);
+
+  const auto missing = WorkloadProfile::merge(ranks, "nonexistent");
+  EXPECT_EQ(missing.total_calls(), 0u);
+}
+
+TEST(WorkloadProfile, WaitsCarryNoBufferSizes) {
+  RankProfile a(0);
+  a.on_call(CallType::kWait, mpisim::kNoPeer, 0, 0.0);
+  a.on_call(CallType::kWaitall, mpisim::kNoPeer, 0, 0.0);
+  const RankProfile* ranks[] = {&a};
+  const auto w = WorkloadProfile::merge(ranks);
+  EXPECT_TRUE(w.ptp_buffers().empty());
+  EXPECT_DOUBLE_EQ(w.ptp_call_percent(), 100.0);
+}
+
+}  // namespace
+}  // namespace hfast::ipm

@@ -1,0 +1,119 @@
+/// Edge-case coverage for API surface not exercised elsewhere: communicator
+/// contracts, fabric port release, trace per-rank views, and cross-model
+/// replay on a clique-provisioned fabric.
+
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/core/provision.hpp"
+#include "hfast/mpisim/runtime.hpp"
+#include "hfast/netsim/replay.hpp"
+#include "hfast/topo/anneal.hpp"
+#include "hfast/topo/fcn.hpp"
+
+namespace hfast {
+namespace {
+
+TEST(Communicator, ContractsAndAccessors) {
+  mpisim::Communicator c(7, {3, 5, 9}, 1);
+  EXPECT_EQ(c.id(), 7);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.rank(), 1);
+  EXPECT_EQ(c.world_rank(0), 3);
+  EXPECT_EQ(c.world_rank(2), 9);
+  EXPECT_THROW(c.world_rank(3), ContractViolation);
+  EXPECT_THROW(mpisim::Communicator(1, {3, 5}, 2), ContractViolation);
+}
+
+TEST(SwitchBlock, ReleaseRecyclesLowestPortFirst) {
+  core::SwitchBlock b(0, 4);
+  const int p0 = b.attach_host(1);
+  const int p1 = b.attach_trunk({2, 0});
+  EXPECT_EQ(p0, 0);
+  EXPECT_EQ(p1, 1);
+  b.release(p0);
+  // first_free returns the lowest-index free port.
+  EXPECT_EQ(b.first_free(), 0);
+  const int again = b.attach_host(9);
+  EXPECT_EQ(again, 0);
+  EXPECT_THROW(b.release(7), ContractViolation);
+}
+
+TEST(Trace, RankEventsViewIsOrdered) {
+  const auto r = analysis::run_experiment("cactus", 8);
+  const auto mine = r.trace.rank_events(3);
+  ASSERT_FALSE(mine.empty());
+  for (std::size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].rank, 3);
+    EXPECT_GT(mine[i].op_index, mine[i - 1].op_index);
+  }
+}
+
+TEST(Replay, CliqueProvisionedFabricCarriesAppTrace) {
+  const auto r = analysis::run_experiment("superlu", 16);
+  const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+  // Clique fabric provisioned at cutoff 0 so even the tiny pivot messages
+  // have a route.
+  core::ProvisionParams params;
+  params.cutoff = 0;
+  const auto prov = core::provision_clique(r.comm_graph, params);
+  prov.fabric.validate();
+  netsim::LinkParams link;
+  netsim::FabricNetwork net(prov.fabric, link, 50e-9);
+  const auto result = netsim::replay(steady, net);
+  EXPECT_GT(result.messages, 0u);
+  EXPECT_GT(result.makespan_s, 0.0);
+  // Shared blocks keep some routes at a single switch hop.
+  EXPECT_LE(result.avg_switch_hops, 3.0);
+}
+
+TEST(Anneal, FcnHasNothingToImprove) {
+  graph::CommGraph g(8);
+  for (int i = 0; i < 8; ++i) g.add_message(i, (i + 1) % 8, 4096);
+  topo::FullyConnected fcn(8);
+  const auto result =
+      anneal_embedding(g, fcn, topo::identity_embedding(8), {});
+  // Every placement on an FCN has dilation 1: cost never changes.
+  EXPECT_EQ(result.final_cost, result.initial_cost);
+  EXPECT_EQ(result.improving_moves, 0);
+}
+
+TEST(CommGraphThresholded, PreservesStatsOfSurvivors) {
+  graph::CommGraph g(3);
+  g.add_message(0, 1, 4096, 5);
+  g.add_message(1, 2, 64, 9);
+  const auto t = g.thresholded(2048);
+  ASSERT_NE(t.edge(0, 1), nullptr);
+  EXPECT_EQ(t.edge(0, 1)->messages, 5u);
+  EXPECT_EQ(t.edge(0, 1)->bytes, 5u * 4096u);
+  EXPECT_EQ(t.partners(1, 0), std::vector<int>{0});
+}
+
+TEST(RuntimeConfigDefaults, AreSane) {
+  mpisim::RuntimeConfig cfg;
+  EXPECT_EQ(cfg.nranks, 4);
+  EXPECT_FALSE(cfg.capture_payload);
+  EXPECT_TRUE(cfg.check_leaks);
+  EXPECT_GE(cfg.watchdog.count(), 1000);
+}
+
+TEST(ProvisionStats, AverageBoundedByMax) {
+  for (const char* app : {"gtc", "superlu"}) {
+    const auto r = analysis::run_experiment(app, 16);
+    for (auto strategy : {core::ProvisionStrategy::kGreedyPerNode,
+                          core::ProvisionStrategy::kCliqueShared}) {
+      const auto prov = core::provision(r.comm_graph, {}, strategy);
+      EXPECT_LE(prov.stats.avg_circuit_traversals,
+                static_cast<double>(prov.stats.max_circuit_traversals));
+      EXPECT_LE(prov.stats.avg_switch_hops,
+                static_cast<double>(prov.stats.max_switch_hops));
+      EXPECT_EQ(prov.stats.avg_circuit_traversals,
+                prov.stats.avg_switch_hops + 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hfast

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/ipm/profile.hpp"
+#include "hfast/mpisim/runtime.hpp"
+
+namespace hfast::mpisim {
+namespace {
+
+RuntimeConfig cfg(int nranks) {
+  RuntimeConfig c;
+  c.nranks = nranks;
+  c.watchdog = std::chrono::milliseconds(5000);
+  return c;
+}
+
+TEST(Collectives, BarrierCompletesForAll) {
+  Runtime rt(cfg(8));
+  rt.run([](RankContext& ctx) {
+    for (int i = 0; i < 5; ++i) ctx.barrier();
+  });
+}
+
+TEST(Collectives, AllreduceSumIsGloballyCorrect) {
+  Runtime rt(cfg(8));
+  rt.run([](RankContext& ctx) {
+    const double sum =
+        ctx.allreduce_sum(ctx.world(), static_cast<double>(ctx.rank()));
+    EXPECT_DOUBLE_EQ(sum, 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  });
+}
+
+TEST(Collectives, BcastValuePropagatesFromRoot) {
+  Runtime rt(cfg(6));
+  rt.run([](RankContext& ctx) {
+    const double v = ctx.bcast_value(ctx.world(), /*root=*/3,
+                                     ctx.rank() == 3 ? 42.5 : -1.0);
+    EXPECT_DOUBLE_EQ(v, 42.5);
+  });
+}
+
+TEST(Collectives, GatherValuesArriveIndexedBySource) {
+  Runtime rt(cfg(5));
+  rt.run([](RankContext& ctx) {
+    const auto vals =
+        ctx.gather_values(ctx.world(), /*root=*/0, ctx.rank() * 10.0);
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(vals.size(), 5u);
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(vals[static_cast<std::size_t>(i)], i * 10.0);
+      }
+    } else {
+      EXPECT_TRUE(vals.empty());
+    }
+  });
+}
+
+TEST(Collectives, SizeOnlyCollectivesSynchronize) {
+  Runtime rt(cfg(6));
+  rt.run([](RankContext& ctx) {
+    ctx.bcast(0, 1024);
+    ctx.reduce(2, 64);
+    ctx.allreduce(8);
+    ctx.gather(1, 100);
+    ctx.allgather(32);
+    ctx.scatter(0, 256);
+    ctx.alltoall(128);
+    ctx.alltoallv(ctx.world(), std::vector<std::uint64_t>(6, 16));
+  });
+}
+
+TEST(Collectives, AlltoallvValidatesCounts) {
+  Runtime rt(cfg(4));
+  EXPECT_THROW(rt.run([](RankContext& ctx) {
+                 ctx.alltoallv(ctx.world(), {1, 2});  // wrong length
+               }),
+               ContractViolation);
+}
+
+TEST(Collectives, SplitFormsConsistentSubgroups) {
+  Runtime rt(cfg(8));
+  rt.run([](RankContext& ctx) {
+    // Two colors: even vs odd rank; key reverses order within the group.
+    const int color = ctx.rank() % 2;
+    Communicator sub = ctx.split(ctx.world(), color, -ctx.rank());
+    EXPECT_EQ(sub.size(), 4);
+    // Reversed key: the largest world rank is comm rank 0.
+    EXPECT_EQ(sub.world_rank(0), color == 0 ? 6 : 7);
+    EXPECT_EQ(sub.world_rank(3), color == 0 ? 0 : 1);
+    // The subcommunicator is usable for further collectives.
+    const double sum = ctx.allreduce_sum(sub, 1.0);
+    EXPECT_DOUBLE_EQ(sum, 4.0);
+  });
+}
+
+TEST(Collectives, SplitSingletonGroups) {
+  Runtime rt(cfg(4));
+  rt.run([](RankContext& ctx) {
+    Communicator solo = ctx.split(ctx.world(), ctx.rank(), 0);
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    ctx.barrier(solo);  // degenerate collective must not hang
+    const double s = ctx.allreduce_sum(solo, 5.0);
+    EXPECT_DOUBLE_EQ(s, 5.0);
+  });
+}
+
+TEST(Collectives, PointToPointOnSubcommunicator) {
+  Runtime rt(cfg(8));
+  rt.run([](RankContext& ctx) {
+    Communicator sub = ctx.split(ctx.world(), ctx.rank() % 2, ctx.rank());
+    // Within the subcomm, comm-rank 0 pings comm-rank 1.
+    if (sub.rank() == 0) {
+      ctx.send(sub, 1, 77, /*tag=*/5);
+    } else if (sub.rank() == 1) {
+      Message m = ctx.recv(sub, 0, 77, /*tag=*/5);
+      EXPECT_EQ(m.bytes, 77u);
+      EXPECT_EQ(m.src_world, ctx.rank() % 2 == 0 ? 0 : 1);
+    }
+  });
+}
+
+TEST(Collectives, InternalPlumbingInvisibleToObservers) {
+  Runtime rt(cfg(4));
+  std::vector<std::unique_ptr<ipm::RankProfile>> profiles;
+  for (int r = 0; r < 4; ++r) {
+    profiles.push_back(std::make_unique<ipm::RankProfile>(r));
+  }
+  rt.run(
+      [](RankContext& ctx) {
+        ctx.allreduce(64);
+        ctx.gather(0, 128);
+        ctx.barrier();
+      },
+      [&profiles](Rank r) { return profiles[static_cast<std::size_t>(r)].get(); });
+  for (const auto& p : profiles) {
+    // Collectives recorded as calls...
+    std::uint64_t collective_calls = 0;
+    for (const auto& rec : p->call_records()) {
+      EXPECT_TRUE(is_collective(rec.call));
+      collective_calls += rec.count;
+    }
+    EXPECT_EQ(collective_calls, 3u);
+    // ...but no point-to-point transfers leak into the topology data.
+    EXPECT_TRUE(p->sent_messages().empty());
+  }
+}
+
+TEST(Collectives, RootValidation) {
+  Runtime rt(cfg(2));
+  EXPECT_THROW(rt.run([](RankContext& ctx) { ctx.bcast(9, 8); }),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::mpisim

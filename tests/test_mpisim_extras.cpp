@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include <sstream>
+
+#include "hfast/ipm/text_report.hpp"
+#include "hfast/mpisim/runtime.hpp"
+
+namespace hfast::mpisim {
+namespace {
+
+RuntimeConfig cfg(int nranks) {
+  RuntimeConfig c;
+  c.nranks = nranks;
+  c.watchdog = std::chrono::milliseconds(5000);
+  return c;
+}
+
+TEST(Extras, TestPollsWithoutBlocking) {
+  Runtime rt(cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      Request r = ctx.irecv(1, 64, /*tag=*/3);
+      // Poll until completion (the partner may be slow to send).
+      int polls = 0;
+      while (!ctx.test(r)) {
+        ++polls;
+        ASSERT_LT(polls, 1000000) << "test() never completed";
+      }
+      // A further test on the consumed request reports complete.
+      EXPECT_TRUE(ctx.test(r));
+    } else {
+      ctx.send(0, 64, /*tag=*/3);
+    }
+  });
+}
+
+TEST(Extras, TestOnCompletedSendIsTrue) {
+  Runtime rt(cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      Request s = ctx.isend(1, 16, 0);
+      EXPECT_TRUE(ctx.test(s));  // eager sends complete at post
+    } else {
+      (void)ctx.recv(0, 16, 0);
+    }
+  });
+}
+
+TEST(Extras, IprobeSeesWithoutConsuming) {
+  Runtime rt(cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      // Busy-wait until the probe sees the message.
+      Rank src = kAnySource;
+      std::uint64_t bytes = 0;
+      while (!ctx.iprobe(ctx.world(), kAnySource, kAnyTag, &src, &bytes)) {
+      }
+      EXPECT_EQ(src, 1);
+      EXPECT_EQ(bytes, 777u);
+      // Probing does not consume: the receive still matches.
+      Message m = ctx.recv(1, 777, kAnyTag);
+      EXPECT_EQ(m.bytes, 777u);
+      // Nothing left now.
+      EXPECT_FALSE(ctx.iprobe(ctx.world(), kAnySource, kAnyTag));
+    } else {
+      ctx.send(0, 777, /*tag=*/9);
+    }
+  });
+}
+
+TEST(Extras, ReduceScatterAndScanSynchronize) {
+  Runtime rt(cfg(6));
+  rt.run([](RankContext& ctx) {
+    ctx.reduce_scatter(ctx.world(), 128);
+    ctx.scan(ctx.world(), 64);
+    ctx.scan(ctx.world(), 64);  // back-to-back scans must not cross-match
+    ctx.reduce_scatter(ctx.world(), 128);
+  });
+}
+
+TEST(Extras, NewCallsLandInProfileTaxonomy) {
+  Runtime rt(cfg(2));
+  std::vector<std::unique_ptr<ipm::RankProfile>> profiles;
+  for (int r = 0; r < 2; ++r) {
+    profiles.push_back(std::make_unique<ipm::RankProfile>(r));
+  }
+  rt.run(
+      [](RankContext& ctx) {
+        if (ctx.rank() == 0) {
+          Request r = ctx.irecv(1, 8, 0);
+          while (!ctx.test(r)) {
+          }
+          (void)ctx.iprobe(ctx.world(), kAnySource, kAnyTag);
+        } else {
+          ctx.send(0, 8, 0);
+        }
+        ctx.reduce_scatter(ctx.world(), 32);
+        ctx.scan(ctx.world(), 16);
+      },
+      [&profiles](Rank r) { return profiles[static_cast<std::size_t>(r)].get(); });
+
+  const ipm::RankProfile* ptrs[] = {profiles[0].get(), profiles[1].get()};
+  const auto w = ipm::WorkloadProfile::merge(ptrs);
+  EXPECT_GT(w.calls_of(CallType::kTest), 0u);
+  EXPECT_EQ(w.calls_of(CallType::kIprobe), 1u);
+  EXPECT_EQ(w.calls_of(CallType::kReduceScatter), 2u);
+  EXPECT_EQ(w.calls_of(CallType::kScan), 2u);
+  // Taxonomy: test/iprobe count as PTP activity, the others as collectives.
+  EXPECT_TRUE(is_point_to_point(CallType::kTest));
+  EXPECT_TRUE(is_point_to_point(CallType::kIprobe));
+  EXPECT_TRUE(is_collective(CallType::kReduceScatter));
+  EXPECT_TRUE(is_collective(CallType::kScan));
+  EXPECT_FALSE(carries_buffer(CallType::kIprobe));
+}
+
+TEST(Extras, TextReportContainsSections) {
+  Runtime rt(cfg(4));
+  std::vector<std::unique_ptr<ipm::RankProfile>> profiles;
+  for (int r = 0; r < 4; ++r) {
+    profiles.push_back(std::make_unique<ipm::RankProfile>(r));
+  }
+  rt.run(
+      [](RankContext& ctx) {
+        ctx.region_begin("init");
+        ctx.bcast(0, 1024);
+        ctx.region_end("init");
+        ctx.region_begin("steady");
+        const int right = (ctx.rank() + 1) % ctx.nranks();
+        const int left = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
+        (void)ctx.sendrecv(right, 4096, left, 4096, 0);
+        ctx.allreduce(8);
+        ctx.region_end("steady");
+      },
+      [&profiles](Rank r) { return profiles[static_cast<std::size_t>(r)].get(); });
+
+  std::vector<const ipm::RankProfile*> ptrs;
+  for (const auto& p : profiles) ptrs.push_back(p.get());
+  std::ostringstream os;
+  ipm::write_text_report(os, ptrs, {.job_name = "ringtest"});
+  const std::string report = os.str();
+  EXPECT_NE(report.find("ringtest"), std::string::npos);
+  EXPECT_NE(report.find("whole job"), std::string::npos);
+  EXPECT_NE(report.find("region: init"), std::string::npos);
+  EXPECT_NE(report.find("region: steady"), std::string::npos);
+  EXPECT_NE(report.find("MPI_Sendrecv"), std::string::npos);
+  EXPECT_NE(report.find("hash:"), std::string::npos);
+  EXPECT_EQ(report.find("WARNING"), std::string::npos);
+}
+
+TEST(Extras, TextReportEmptyWorkload) {
+  ipm::RankProfile p(0);
+  const ipm::RankProfile* ptrs[] = {&p};
+  std::ostringstream os;
+  ipm::write_text_report(os, ptrs);
+  EXPECT_NE(os.str().find("no communication recorded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hfast::mpisim

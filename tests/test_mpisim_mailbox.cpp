@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "hfast/mpisim/mailbox.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::mpisim {
+namespace {
+
+Message make_msg(Rank src, Tag tag, std::uint64_t bytes, int comm = 0,
+                 bool internal = false) {
+  Message m;
+  m.comm_id = comm;
+  m.src_world = src;
+  m.src_comm = src;
+  m.tag = tag;
+  m.bytes = bytes;
+  m.internal = internal;
+  return m;
+}
+
+class MailboxTest : public ::testing::Test {
+ protected:
+  std::atomic<bool> abort_{false};
+  Mailbox mb_{&abort_, std::chrono::milliseconds(500)};
+};
+
+TEST_F(MailboxTest, ExactMatchRemovesMessage) {
+  mb_.deliver(make_msg(3, 7, 100));
+  Message out;
+  EXPECT_FALSE(mb_.try_match(0, 2, 7, false, out));  // wrong src
+  EXPECT_FALSE(mb_.try_match(0, 3, 8, false, out));  // wrong tag
+  EXPECT_TRUE(mb_.try_match(0, 3, 7, false, out));
+  EXPECT_EQ(out.bytes, 100u);
+  EXPECT_EQ(mb_.pending(), 0u);
+}
+
+TEST_F(MailboxTest, WildcardsMatch) {
+  mb_.deliver(make_msg(1, 5, 10));
+  Message out;
+  EXPECT_TRUE(mb_.try_match(0, kAnySource, kAnyTag, false, out));
+  EXPECT_EQ(out.src_comm, 1);
+}
+
+TEST_F(MailboxTest, AnySourcePrefersEarliestArrival) {
+  mb_.deliver(make_msg(5, 0, 111));
+  mb_.deliver(make_msg(2, 0, 222));
+  Message out;
+  ASSERT_TRUE(mb_.try_match(0, kAnySource, 0, false, out));
+  EXPECT_EQ(out.bytes, 111u);  // delivered first, despite higher src id
+  ASSERT_TRUE(mb_.try_match(0, kAnySource, 0, false, out));
+  EXPECT_EQ(out.bytes, 222u);
+}
+
+TEST_F(MailboxTest, FifoWithinChannel) {
+  mb_.deliver(make_msg(1, 0, 1));
+  mb_.deliver(make_msg(1, 0, 2));
+  Message out;
+  ASSERT_TRUE(mb_.try_match(0, 1, 0, false, out));
+  EXPECT_EQ(out.bytes, 1u);
+  ASSERT_TRUE(mb_.try_match(0, 1, 0, false, out));
+  EXPECT_EQ(out.bytes, 2u);
+}
+
+TEST_F(MailboxTest, TagSelectionWithinChannel) {
+  mb_.deliver(make_msg(1, 10, 1));
+  mb_.deliver(make_msg(1, 20, 2));
+  Message out;
+  ASSERT_TRUE(mb_.try_match(0, 1, 20, false, out));
+  EXPECT_EQ(out.bytes, 2u);
+}
+
+TEST_F(MailboxTest, InternalAndUserTrafficSegregated) {
+  mb_.deliver(make_msg(1, 0, 50, 0, /*internal=*/true));
+  Message out;
+  EXPECT_FALSE(mb_.try_match(0, 1, 0, false, out));
+  EXPECT_TRUE(mb_.try_match(0, 1, 0, true, out));
+}
+
+TEST_F(MailboxTest, CommunicatorsSegregated) {
+  mb_.deliver(make_msg(1, 0, 50, /*comm=*/3));
+  Message out;
+  EXPECT_FALSE(mb_.try_match(0, 1, 0, false, out));
+  EXPECT_TRUE(mb_.try_match(3, 1, 0, false, out));
+}
+
+TEST_F(MailboxTest, BlockingMatchWakesOnDelivery) {
+  std::thread producer([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    mb_.deliver(make_msg(4, 9, 77));
+  });
+  Message m = mb_.match_blocking(0, 4, 9, false);
+  EXPECT_EQ(m.bytes, 77u);
+  producer.join();
+}
+
+TEST_F(MailboxTest, WatchdogThrowsOnTimeout) {
+  EXPECT_THROW(mb_.match_blocking(0, 1, 1, false), Error);
+}
+
+TEST_F(MailboxTest, AbortUnblocksWaiters) {
+  std::thread aborter([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    abort_.store(true);
+    mb_.interrupt();
+  });
+  EXPECT_THROW(mb_.match_blocking(0, 1, 1, false), Error);
+  aborter.join();
+}
+
+TEST_F(MailboxTest, VersionBumpsOnDelivery) {
+  const auto v0 = mb_.version();
+  mb_.deliver(make_msg(1, 0, 1));
+  EXPECT_GT(mb_.version(), v0);
+}
+
+TEST_F(MailboxTest, WaitVersionChangeReturnsAfterDelivery) {
+  const auto v0 = mb_.version();
+  std::thread producer([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    mb_.deliver(make_msg(2, 0, 5));
+  });
+  mb_.wait_version_change(v0);
+  producer.join();
+  Message out;
+  EXPECT_TRUE(mb_.try_match(0, 2, 0, false, out));
+}
+
+}  // namespace
+}  // namespace hfast::mpisim

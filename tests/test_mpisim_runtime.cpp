@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include <array>
+#include <atomic>
+#include <set>
+
+#include "hfast/mpisim/runtime.hpp"
+
+namespace hfast::mpisim {
+namespace {
+
+RuntimeConfig small_cfg(int nranks) {
+  RuntimeConfig cfg;
+  cfg.nranks = nranks;
+  cfg.watchdog = std::chrono::milliseconds(5000);
+  return cfg;
+}
+
+TEST(Runtime, RunsEveryRankToCompletion) {
+  Runtime rt(small_cfg(8));
+  std::atomic<int> count{0};
+  rt.run([&count](RankContext& ctx) {
+    (void)ctx;
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Runtime, PingPongDeliversBytes) {
+  Runtime rt(small_cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 4096, /*tag=*/7);
+      Message m = ctx.recv(1, 128, /*tag=*/8);
+      EXPECT_EQ(m.bytes, 128u);
+      EXPECT_EQ(m.src_world, 1);
+      EXPECT_EQ(m.tag, 8);
+    } else {
+      Message m = ctx.recv(0, 4096, /*tag=*/7);
+      EXPECT_EQ(m.bytes, 4096u);
+      ctx.send(0, 128, /*tag=*/8);
+    }
+  });
+}
+
+TEST(Runtime, PayloadIntegrityWhenCaptured) {
+  auto cfg = small_cfg(2);
+  cfg.capture_payload = true;
+  Runtime rt(cfg);
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<std::byte> data(256);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::byte>(i * 3);
+      }
+      ctx.send_bytes(ctx.world(), 1, data, /*tag=*/1);
+    } else {
+      Message m = ctx.recv(0, 256, /*tag=*/1);
+      ASSERT_NE(m.payload, nullptr);
+      ASSERT_EQ(m.payload->size(), 256u);
+      for (std::size_t i = 0; i < 256; ++i) {
+        EXPECT_EQ((*m.payload)[i], static_cast<std::byte>(i * 3));
+      }
+    }
+  });
+}
+
+TEST(Runtime, TagMatchingIsSelective) {
+  Runtime rt(small_cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 10, /*tag=*/1);
+      ctx.send(1, 20, /*tag=*/2);
+    } else {
+      // Receive out of send order by tag.
+      Message second = ctx.recv(0, 20, /*tag=*/2);
+      Message first = ctx.recv(0, 10, /*tag=*/1);
+      EXPECT_EQ(second.bytes, 20u);
+      EXPECT_EQ(first.bytes, 10u);
+    }
+  });
+}
+
+TEST(Runtime, ChannelOrderIsFifoPerTag) {
+  Runtime rt(small_cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 5; ++i) ctx.send(1, 100 + static_cast<std::uint64_t>(i), 0);
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        Message m = ctx.recv(0, 0, /*tag=*/0);
+        EXPECT_EQ(m.bytes, 100u + static_cast<std::uint64_t>(i));
+      }
+    }
+  });
+}
+
+TEST(Runtime, AnySourceReceivesFromAll) {
+  Runtime rt(small_cfg(4));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      std::uint64_t total = 0;
+      for (int i = 0; i < 3; ++i) {
+        total += ctx.recv(kAnySource, 0, kAnyTag).bytes;
+      }
+      EXPECT_EQ(total, 1u + 2u + 3u);
+    } else {
+      ctx.send(0, static_cast<std::uint64_t>(ctx.rank()), ctx.rank());
+    }
+  });
+}
+
+TEST(Runtime, NonblockingWaitAllWaitAny) {
+  Runtime rt(small_cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<Request> reqs;
+      reqs.push_back(ctx.irecv(1, 64, 1));
+      reqs.push_back(ctx.irecv(1, 64, 2));
+      reqs.push_back(ctx.isend(1, 64, 3));
+      // waitany must return each request exactly once.
+      std::set<std::size_t> seen;
+      for (int i = 0; i < 3; ++i) seen.insert(ctx.waitany(reqs));
+      EXPECT_EQ(seen.size(), 3u);
+      EXPECT_THROW(ctx.waitany(reqs), ContractViolation);  // all consumed
+    } else {
+      ctx.send(0, 64, 1);
+      ctx.send(0, 64, 2);
+      (void)ctx.recv(0, 64, 3);
+    }
+  });
+}
+
+TEST(Runtime, WaitOnConsumedRequestIsNoOp) {
+  Runtime rt(small_cfg(2));
+  rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      Request r = ctx.irecv(1, 8, 0);
+      ctx.wait(r);
+      ctx.wait(r);  // MPI_REQUEST_NULL semantics: no error, no re-match
+    } else {
+      ctx.send(0, 8, 0);
+    }
+  });
+}
+
+TEST(Runtime, SendrecvExchanges) {
+  Runtime rt(small_cfg(4));
+  rt.run([](RankContext& ctx) {
+    const int p = ctx.nranks();
+    const int right = (ctx.rank() + 1) % p;
+    const int left = (ctx.rank() + p - 1) % p;
+    Message in = ctx.sendrecv(right, 500, left, 500, /*tag=*/0);
+    EXPECT_EQ(in.src_world, left);
+    EXPECT_EQ(in.bytes, 500u);
+  });
+}
+
+TEST(Runtime, DeadlockDetectedByWatchdog) {
+  auto cfg = small_cfg(2);
+  cfg.watchdog = std::chrono::milliseconds(200);
+  Runtime rt(cfg);
+  EXPECT_THROW(rt.run([](RankContext& ctx) {
+                 if (ctx.rank() == 0) {
+                   (void)ctx.recv(1, 8, /*tag=*/42);  // never sent
+                 }
+               }),
+               Error);
+}
+
+TEST(Runtime, LeakedMessagesDetected) {
+  Runtime rt(small_cfg(2));
+  EXPECT_THROW(rt.run([](RankContext& ctx) {
+                 if (ctx.rank() == 0) ctx.send(1, 8, 0);  // never received
+               }),
+               Error);
+}
+
+TEST(Runtime, LeakCheckCanBeDisabled) {
+  auto cfg = small_cfg(2);
+  cfg.check_leaks = false;
+  Runtime rt(cfg);
+  EXPECT_NO_THROW(rt.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send(1, 8, 0);
+  }));
+}
+
+TEST(Runtime, RankExceptionPropagatesAndUnwindsOthers) {
+  Runtime rt(small_cfg(4));
+  try {
+    rt.run([](RankContext& ctx) {
+      if (ctx.rank() == 2) throw Error("boom on rank 2");
+      // Other ranks block forever; the abort must wake them.
+      (void)ctx.recv(kAnySource, 0, 999);
+    });
+    FAIL() << "expected exception";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Runtime, ReusableAcrossRuns) {
+  Runtime rt(small_cfg(3));
+  for (int round = 0; round < 3; ++round) {
+    rt.run([](RankContext& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.send(1, 8, 0);
+      } else if (ctx.rank() == 1) {
+        (void)ctx.recv(0, 8, 0);
+      }
+    });
+  }
+}
+
+TEST(Runtime, RngStreamsDifferPerRankButAreStable) {
+  Runtime rt(small_cfg(4));
+  std::array<std::uint64_t, 4> first{};
+  rt.run([&first](RankContext& ctx) {
+    first[static_cast<std::size_t>(ctx.rank())] = ctx.rng()();
+  });
+  std::array<std::uint64_t, 4> second{};
+  rt.run([&second](RankContext& ctx) {
+    second[static_cast<std::size_t>(ctx.rank())] = ctx.rng()();
+  });
+  EXPECT_EQ(first, second);  // deterministic across runs
+  EXPECT_NE(first[0], first[1]);
+  EXPECT_NE(first[1], first[2]);
+}
+
+TEST(Runtime, InvalidConfigRejected) {
+  RuntimeConfig cfg;
+  cfg.nranks = 0;
+  EXPECT_THROW(Runtime bad(cfg), ContractViolation);
+  Runtime rt(small_cfg(2));
+  EXPECT_THROW(rt.run(nullptr), ContractViolation);
+}
+
+TEST(Runtime, SendToInvalidRankIsContractViolation) {
+  Runtime rt(small_cfg(2));
+  EXPECT_THROW(rt.run([](RankContext& ctx) {
+                 if (ctx.rank() == 0) ctx.send(5, 8, 0);
+               }),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::mpisim

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/netsim/bdp.hpp"
+
+namespace hfast::netsim {
+namespace {
+
+TEST(Bdp, Table1ValuesMatchPaper) {
+  const auto specs = table1_specs();
+  ASSERT_EQ(specs.size(), 5u);
+
+  // SGI Altix: 1.1us x 1.9 GB/s ~= 2 KB.
+  EXPECT_EQ(specs[0].system, "SGI Altix");
+  EXPECT_NEAR(bandwidth_delay_product(specs[0]), 2090, 1);
+  // Cray X1: 7.3us x 6.3 GB/s ~= 46 KB.
+  EXPECT_NEAR(bandwidth_delay_product(specs[1]) / 1024.0, 44.9, 0.5);
+  // Earth Simulator ~= 8.4 KB.
+  EXPECT_NEAR(bandwidth_delay_product(specs[2]) / 1024.0, 8.2, 0.3);
+  // Myrinet ~= 2.8 KB.
+  EXPECT_NEAR(bandwidth_delay_product(specs[3]) / 1024.0, 2.78, 0.1);
+  // XD1 ~= 3.4 KB.
+  EXPECT_NEAR(bandwidth_delay_product(specs[4]) / 1024.0, 3.32, 0.1);
+}
+
+TEST(Bdp, BdpMessageReachesHalfPeak) {
+  for (const auto& spec : table1_specs()) {
+    const auto bdp =
+        static_cast<std::uint64_t>(bandwidth_delay_product(spec));
+    const double eff = effective_bandwidth(spec, bdp);
+    EXPECT_NEAR(eff / spec.peak_bandwidth_bps, 0.5, 0.01) << spec.system;
+  }
+}
+
+TEST(Bdp, EffectiveBandwidthMonotoneInSize) {
+  const auto spec = table1_specs()[0];
+  double prev = 0.0;
+  for (std::uint64_t s = 64; s <= 16 * 1024 * 1024; s *= 4) {
+    const double eff = effective_bandwidth(spec, s);
+    EXPECT_GT(eff, prev);
+    EXPECT_LT(eff, spec.peak_bandwidth_bps);
+    prev = eff;
+  }
+  EXPECT_DOUBLE_EQ(effective_bandwidth(spec, 0), 0.0);
+}
+
+TEST(Bdp, SaturationSizeClosedForm) {
+  const auto spec = table1_specs()[0];
+  // 90% of peak needs 9x the BDP.
+  EXPECT_NEAR(saturation_size(spec, 0.9),
+              9.0 * bandwidth_delay_product(spec), 1e-6);
+  // And indeed delivers 90%.
+  const auto s = static_cast<std::uint64_t>(saturation_size(spec, 0.9));
+  EXPECT_NEAR(effective_bandwidth(spec, s) / spec.peak_bandwidth_bps, 0.9,
+              0.01);
+  EXPECT_THROW(saturation_size(spec, 0.0), ContractViolation);
+  EXPECT_THROW(saturation_size(spec, 1.0), ContractViolation);
+}
+
+TEST(Bdp, PaperThresholdTracksBestBdp) {
+  double best = 1e18;
+  for (const auto& spec : table1_specs()) {
+    best = std::min(best, bandwidth_delay_product(spec));
+  }
+  // The paper picks 2 KB because the best BDP hovers close to 2 KB.
+  EXPECT_NEAR(best, static_cast<double>(paper_threshold_bytes()), 128);
+}
+
+}  // namespace
+}  // namespace hfast::netsim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/core/provision.hpp"
+#include "hfast/netsim/network.hpp"
+#include "hfast/topo/fcn.hpp"
+#include "hfast/topo/mesh.hpp"
+
+namespace hfast::netsim {
+namespace {
+
+LinkParams simple_link() {
+  LinkParams l;
+  l.latency_s = 1e-6;
+  l.bandwidth_bps = 1e9;
+  l.switch_overhead_s = 0.0;
+  return l;
+}
+
+TEST(DirectNetwork, SingleHopTiming) {
+  topo::FullyConnected fcn(2);
+  DirectNetwork net(fcn, simple_link());
+  // 1000 bytes at 1 GB/s = 1us serialization + 1us latency.
+  const double t = net.transfer(0, 1, 1000, 0.0);
+  EXPECT_NEAR(t, 2e-6, 1e-12);
+}
+
+TEST(DirectNetwork, MultiHopAddsLatencyNotSerialization) {
+  topo::MeshTorus path({4}, false);
+  DirectNetwork net(path, simple_link());
+  // Cut-through over 3 hops: 3x latency + 1x serialization.
+  const double t = net.transfer(0, 3, 1000, 0.0);
+  EXPECT_NEAR(t, 3e-6 + 1e-6, 1e-12);
+  EXPECT_EQ(net.switch_hops(0, 3), 3);
+}
+
+TEST(DirectNetwork, ContentionSerializesSharedLink) {
+  topo::MeshTorus path({3}, false);
+  DirectNetwork net(path, simple_link());
+  // Two messages cross link 1-2 back to back.
+  const double t1 = net.transfer(0, 2, 100000, 0.0);
+  const double t2 = net.transfer(1, 2, 100000, 0.0);
+  // Message 2 must queue behind message 1 on link 1->2 (100us each).
+  EXPECT_GT(t2, 100e-6);
+  EXPECT_GT(t1, 0.0);
+  net.reset();
+  const double fresh = net.transfer(1, 2, 100000, 0.0);
+  EXPECT_LT(fresh, t2);  // no queueing after reset
+}
+
+TEST(DirectNetwork, DisjointPathsDoNotInterfere) {
+  topo::MeshTorus ring({8}, true);
+  DirectNetwork net(ring, simple_link());
+  const double a = net.transfer(0, 1, 100000, 0.0);
+  const double b = net.transfer(4, 5, 100000, 0.0);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(FabricNetwork, RouteThroughBlocksCountsOverheadPerBlock) {
+  graph::CommGraph g(2);
+  g.add_message(0, 1, 8192);
+  const auto prov = core::provision_greedy(g);
+  LinkParams circuit = simple_link();
+  FabricNetwork net(prov.fabric, circuit, /*block_overhead_s=*/10e-6);
+  // Path: node0 -> B0 -> B1 -> node1: 3 circuit links, 2 block entries.
+  const double t = net.transfer(0, 1, 1000, 0.0);
+  // 3 link latencies + 2 block overheads + serialization.
+  EXPECT_NEAR(t, 3e-6 + 2 * 10e-6 + 1e-6, 1e-9);
+  EXPECT_EQ(net.switch_hops(0, 1), 2);
+}
+
+TEST(FabricNetwork, SharedBlockIsSingleHop) {
+  // Clique provisioning puts both endpoints on one block.
+  graph::CommGraph g(2);
+  g.add_message(0, 1, 8192);
+  const auto prov = core::provision_clique(g);
+  ASSERT_EQ(prov.stats.num_blocks, 1);
+  FabricNetwork net(prov.fabric, simple_link(), 10e-6);
+  EXPECT_EQ(net.switch_hops(0, 1), 1);
+  const double t = net.transfer(0, 1, 1000, 0.0);
+  EXPECT_NEAR(t, 2e-6 + 10e-6 + 1e-6, 1e-9);
+}
+
+TEST(FatTreeNetwork, LatencyScalesWithTraversals) {
+  const topo::FatTree tree(64, 8);  // subtrees 4, 16, capacity
+  LinkParams link = simple_link();
+  link.switch_overhead_s = 0.5e-6;
+  FatTreeNetwork net(tree, link);
+  const double near = net.transfer(0, 1, 1000, 0.0);  // 1 traversal
+  net.reset();
+  const double far = net.transfer(0, 63, 1000, 0.0);  // 5 traversals
+  EXPECT_GT(far, near);
+  EXPECT_NEAR(far - near, 4 * (1e-6 + 0.5e-6), 1e-9);
+}
+
+TEST(FatTreeNetwork, InjectionLinkContends) {
+  const topo::FatTree tree(16, 8);
+  FatTreeNetwork net(tree, simple_link());
+  const double t1 = net.transfer(0, 1, 1000000, 0.0);  // 1ms serialization
+  const double t2 = net.transfer(0, 2, 1000000, 0.0);  // same injection link
+  EXPECT_GT(t2, t1);
+  net.reset();
+  const double t3 = net.transfer(3, 2, 1000000, 1e-9);  // different source,
+  const double t4 = net.transfer(4, 2, 1000000, 2e-9);  // same destination:
+  EXPECT_GT(t4, t3);  // ejection link contention
+}
+
+TEST(Network, SelfTransferRejected) {
+  topo::FullyConnected fcn(4);
+  DirectNetwork net(fcn, simple_link());
+  EXPECT_THROW(net.transfer(2, 2, 100, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::netsim

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/netsim/replay.hpp"
+#include "hfast/topo/fcn.hpp"
+#include "hfast/topo/mesh.hpp"
+
+namespace hfast::netsim {
+namespace {
+
+using trace::CommEvent;
+using trace::EventKind;
+using trace::Trace;
+
+Trace make_trace(int nranks, std::vector<CommEvent> events) {
+  std::uint64_t op = 0;
+  std::vector<std::uint64_t> per_rank(static_cast<std::size_t>(nranks), 0);
+  (void)op;
+  for (auto& e : events) {
+    e.op_index = per_rank[static_cast<std::size_t>(e.rank)]++;
+  }
+  return Trace(nranks, std::move(events), {""});
+}
+
+CommEvent send(int rank, int peer, std::uint64_t bytes) {
+  CommEvent e;
+  e.rank = rank;
+  e.kind = EventKind::kSend;
+  e.peer = peer;
+  e.bytes = bytes;
+  return e;
+}
+
+CommEvent recv(int rank, int peer, std::uint64_t bytes) {
+  CommEvent e;
+  e.rank = rank;
+  e.kind = EventKind::kRecv;
+  e.peer = peer;
+  e.bytes = bytes;
+  return e;
+}
+
+CommEvent collective(int rank, std::uint64_t bytes) {
+  CommEvent e;
+  e.rank = rank;
+  e.kind = EventKind::kCollective;
+  e.call = mpisim::CallType::kAllreduce;
+  e.peer = mpisim::kNoPeer;
+  e.bytes = bytes;
+  return e;
+}
+
+LinkParams simple_link() {
+  LinkParams l;
+  l.latency_s = 1e-6;
+  l.bandwidth_bps = 1e9;
+  l.switch_overhead_s = 0.0;
+  return l;
+}
+
+TEST(Replay, PingPongMakespan) {
+  const auto t = make_trace(
+      2, {send(0, 1, 1000), recv(1, 0, 1000), send(1, 0, 1000),
+          recv(0, 1, 1000)});
+  topo::FullyConnected fcn(2);
+  DirectNetwork net(fcn, simple_link());
+  ReplayParams params;
+  params.send_overhead_s = 0.0;
+  params.recv_overhead_s = 0.0;
+  const auto r = replay(t, net, params);
+  EXPECT_EQ(r.messages, 2u);
+  EXPECT_EQ(r.bytes, 2000u);
+  // Each direction: 1us latency + 1us serialization = 2us; total 4us.
+  EXPECT_NEAR(r.makespan_s, 4e-6, 1e-9);
+  EXPECT_NEAR(r.avg_message_latency_s, 2e-6, 1e-9);
+}
+
+TEST(Replay, RecvBlocksUntilSendArrives) {
+  // Rank 1's receive is issued long before rank 0 sends anything useful:
+  // rank 0 first does local "work" modeled as a collective delay.
+  const auto t = make_trace(
+      2, {collective(0, 1024), send(0, 1, 100), recv(1, 0, 100)});
+  topo::FullyConnected fcn(2);
+  DirectNetwork net(fcn, simple_link());
+  const auto r = replay(t, net);
+  EXPECT_GT(r.total_recv_wait_s, 0.0);
+}
+
+TEST(Replay, FifoChannelMatchingPreservesOrder) {
+  const auto t = make_trace(
+      2, {send(0, 1, 10), send(0, 1, 20), recv(1, 0, 10), recv(1, 0, 20)});
+  topo::FullyConnected fcn(2);
+  DirectNetwork net(fcn, simple_link());
+  EXPECT_NO_THROW(replay(t, net));
+}
+
+TEST(Replay, StalledTraceThrows) {
+  const auto t = make_trace(2, {recv(1, 0, 100)});  // send never happens
+  topo::FullyConnected fcn(2);
+  DirectNetwork net(fcn, simple_link());
+  EXPECT_THROW(replay(t, net), Error);
+}
+
+TEST(Replay, CollectiveCostScalesWithRanksAndBytes) {
+  topo::FullyConnected fcn(16);
+  DirectNetwork net(fcn, simple_link());
+  ReplayParams params;
+  params.send_overhead_s = 0.0;
+  const auto small = replay(make_trace(16, {collective(0, 64)}), net, params);
+  const auto big = replay(make_trace(16, {collective(0, 1 << 20)}), net, params);
+  EXPECT_GT(big.makespan_s, small.makespan_s);
+}
+
+TEST(Replay, ContentionExtendsMakespan) {
+  // Eight ranks all send a large message to rank 0 (ejection hotspot).
+  std::vector<CommEvent> events;
+  for (int r = 1; r < 8; ++r) events.push_back(send(r, 0, 1000000));
+  for (int r = 1; r < 8; ++r) events.push_back(recv(0, r, 1000000));
+  const auto t = make_trace(8, events);
+
+  topo::MeshTorus ring({8}, true);
+  DirectNetwork congested(ring, simple_link());
+  const auto hot = replay(t, congested, {});
+
+  // The same volume spread across disjoint pairs finishes much faster.
+  std::vector<CommEvent> spread;
+  for (int r = 0; r < 8; r += 2) {
+    spread.push_back(send(r, r + 1, 1000000));
+    spread.push_back(recv(r + 1, r, 1000000));
+  }
+  DirectNetwork fresh(ring, simple_link());
+  const auto cool = replay(make_trace(8, spread), fresh, {});
+  EXPECT_GT(hot.makespan_s, 2 * cool.makespan_s);
+}
+
+TEST(Replay, HopStatisticsReported) {
+  const auto t = make_trace(
+      2, {send(0, 1, 1000), recv(1, 0, 1000)});
+  topo::MeshTorus path({4}, false);
+  DirectNetwork net(path, simple_link());
+  const auto r = replay(t, net);
+  EXPECT_EQ(r.max_switch_hops, 1);
+  EXPECT_DOUBLE_EQ(r.avg_switch_hops, 1.0);
+}
+
+TEST(Replay, TraceLargerThanNetworkRejected) {
+  const auto t = make_trace(4, {send(0, 1, 10), recv(1, 0, 10)});
+  topo::FullyConnected fcn(2);
+  DirectNetwork net(fcn, simple_link());
+  EXPECT_THROW(replay(t, net), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::netsim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/netsim/fat_tree_net.hpp"
+
+namespace hfast::netsim {
+namespace {
+
+LinkParams simple_link() {
+  LinkParams l;
+  l.latency_s = 1e-6;
+  l.bandwidth_bps = 1e9;
+  l.switch_overhead_s = 0.0;
+  return l;
+}
+
+TEST(StructuralFatTree, GeometryForRadix8) {
+  // k = 4: 64 endpoints need n = 3 levels (4^3 = 64).
+  StructuralFatTree net(64, 8, simple_link());
+  EXPECT_EQ(net.levels(), 3);
+  EXPECT_EQ(net.arity(), 4);
+  EXPECT_EQ(net.num_switches(), 3u * 16u);
+  EXPECT_EQ(net.num_endpoints(), 64);
+}
+
+TEST(StructuralFatTree, HopCountFollows2LMinus1) {
+  StructuralFatTree net(64, 8, simple_link());
+  EXPECT_EQ(net.switch_hops(0, 1), 1);    // same leaf (k=4: 0-3)
+  EXPECT_EQ(net.switch_hops(0, 4), 3);    // same level-2 subtree
+  EXPECT_EQ(net.switch_hops(0, 15), 3);
+  EXPECT_EQ(net.switch_hops(0, 16), 5);   // crosses the top
+  EXPECT_EQ(net.switch_hops(0, 63), 5);
+  EXPECT_EQ(net.switch_hops(7, 7), 0);
+  EXPECT_EQ(net.common_level(0, 63), 3);
+}
+
+TEST(StructuralFatTree, AllPairsRoutable) {
+  StructuralFatTree net(32, 8, simple_link());
+  for (int s = 0; s < 32; ++s) {
+    for (int d = 0; d < 32; ++d) {
+      if (s == d) continue;
+      const double t = net.transfer(s, d, 100, 0.0);
+      EXPECT_GT(t, 0.0) << s << "->" << d;
+    }
+    net.reset();
+  }
+}
+
+TEST(StructuralFatTree, TransferTimingMatchesHops) {
+  StructuralFatTree net(64, 8, simple_link());
+  // Same-leaf: endpoint->leaf->endpoint = 2 links; far pair (common level
+  // 3): 2*3 = 6 links. Cut-through: links*latency + 1 serialization.
+  const double near = net.transfer(0, 1, 1000, 0.0);
+  EXPECT_NEAR(near, 2 * 1e-6 + 1e-6, 1e-12);
+  net.reset();
+  const double far = net.transfer(0, 63, 1000, 0.0);
+  EXPECT_NEAR(far, 6 * 1e-6 + 1e-6, 1e-12);
+}
+
+TEST(StructuralFatTree, InteriorContentionExists) {
+  // Unlike the idealized FatTreeNetwork, concurrent flows that share an
+  // interior link queue behind each other. All ranks of leaf 0 send to the
+  // same remote leaf: the up-links from leaf 0 are shared pairwise by
+  // destination (D-mod-k picks the up-path by destination digit).
+  StructuralFatTree net(64, 8, simple_link());
+  // src 0..3 all on leaf 0; destination 16 fixed: same up digits chosen ->
+  // the four flows share the leaf's one chosen up-link and the ejection
+  // path.
+  const double t0 = net.transfer(0, 16, 1000000, 0.0);
+  const double t1 = net.transfer(1, 16, 1000000, 0.0);
+  const double t2 = net.transfer(2, 16, 1000000, 0.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(StructuralFatTree, DisjointDestinationsSpreadLoad) {
+  StructuralFatTree net(64, 8, simple_link());
+  // Flows from one leaf to four *different* remote subtrees pick different
+  // up-links (destination-based), so they do not serialize behind each
+  // other the way same-destination flows do.
+  const double same_a = net.transfer(0, 16, 1000000, 0.0);
+  const double same_b = net.transfer(1, 16, 1000000, 0.0);
+  const double same_delay = same_b - same_a;
+  net.reset();
+  const double diff_a = net.transfer(0, 16, 1000000, 0.0);
+  const double diff_b = net.transfer(1, 21, 1000000, 0.0);  // other subtree
+  (void)diff_a;
+  // diff_b shares no link with diff_a beyond... the leaf uplink choice
+  // differs by destination digit, so it should be faster than the
+  // serialized same-destination case.
+  EXPECT_LT(diff_b - 0.0, same_delay + same_a);
+  EXPECT_THROW(net.transfer(3, 3, 10, 0.0), ContractViolation);
+}
+
+TEST(StructuralFatTree, CapacityRounding) {
+  // 100 endpoints, k=8: 8^2=64 < 100 <= 8^3 -> 3 levels.
+  StructuralFatTree net(100, 16, simple_link());
+  EXPECT_EQ(net.levels(), 3);
+  EXPECT_EQ(net.switch_hops(0, 99), 5);
+  EXPECT_THROW(StructuralFatTree(4, 5, simple_link()), ContractViolation);
+  EXPECT_THROW(StructuralFatTree(1, 8, simple_link()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::netsim

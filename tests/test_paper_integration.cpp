@@ -1,0 +1,140 @@
+/// Integration tests asserting the paper's Table 3 reductions end-to-end:
+/// runtime -> IPM profile -> communication graph -> TDC with the 2 KB
+/// threshold, at both published concurrencies. These are the headline
+/// reproduction checks (tolerances noted inline; see EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/paper_tables.hpp"
+#include "hfast/core/classify.hpp"
+
+namespace hfast::analysis {
+namespace {
+
+struct Expected {
+  const char* app;
+  int procs;
+  double ptp_pct;       // paper %PTP calls
+  double ptp_pct_tol;
+  int tdc_max;          // paper TDC@2KB max
+  double tdc_avg;       // paper TDC@2KB avg
+  double tdc_avg_tol;
+};
+
+class Table3Test : public ::testing::TestWithParam<Expected> {};
+
+TEST_P(Table3Test, MatchesPaperReductions) {
+  const Expected e = GetParam();
+  const auto r = run_experiment(e.app, e.procs);
+  const auto row = table3_row(r);
+  EXPECT_NEAR(row.ptp_call_percent, e.ptp_pct, e.ptp_pct_tol) << e.app;
+  EXPECT_EQ(row.tdc_max_at_cutoff, e.tdc_max) << e.app;
+  EXPECT_NEAR(row.tdc_avg_at_cutoff, e.tdc_avg, e.tdc_avg_tol) << e.app;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable3, Table3Test,
+    ::testing::Values(
+        // app, P, %PTP, tol, TDC max, TDC avg, tol
+        Expected{"gtc", 64, 42.0, 6.0, 2, 2.0, 0.1},
+        Expected{"gtc", 256, 40.2, 13.0, 10, 4.0, 0.8},
+        Expected{"cactus", 64, 99.4, 0.5, 6, 5.0, 0.6},
+        Expected{"cactus", 256, 99.5, 0.5, 6, 5.0, 0.2},
+        Expected{"lbmhd", 64, 99.8, 0.8, 12, 11.5, 0.6},
+        Expected{"lbmhd", 256, 99.9, 0.8, 12, 11.8, 0.3},
+        Expected{"superlu", 64, 89.8, 5.5, 14, 14.0, 0.1},
+        Expected{"superlu", 256, 92.8, 2.5, 30, 30.0, 0.1},
+        Expected{"pmemd", 64, 99.1, 0.5, 63, 63.0, 0.1},
+        Expected{"pmemd", 256, 98.6, 1.3, 255, 55.0, 1.5},
+        Expected{"paratec", 64, 99.5, 0.6, 63, 63.0, 0.1},
+        Expected{"paratec", 256, 99.9, 0.2, 255, 255.0, 0.1}),
+    [](const ::testing::TestParamInfo<Expected>& info) {
+      return std::string(info.param.app) + "_P" +
+             std::to_string(info.param.procs);
+    });
+
+TEST(PaperIntegration, MedianBufferSizes) {
+  // Table 3 median buffer columns (values as printed in the paper; ours
+  // match the magnitude and class — exact bytes noted in EXPERIMENTS.md).
+  const auto gtc = run_experiment("gtc", 64);
+  EXPECT_EQ(gtc.steady.median_ptp_buffer(), 128u * 1024u);   // paper: 128k
+  EXPECT_EQ(gtc.steady.median_collective_buffer(), 100u);    // paper: 100
+
+  const auto cactus = run_experiment("cactus", 64);
+  EXPECT_NEAR(static_cast<double>(cactus.steady.median_ptp_buffer()),
+              299.0 * 1024.0, 8 * 1024.0);                   // paper: 299k
+  EXPECT_EQ(cactus.steady.median_collective_buffer(), 8u);   // paper: 8
+
+  const auto superlu = run_experiment("superlu", 64);
+  EXPECT_EQ(superlu.steady.median_ptp_buffer(), 64u);        // paper: 64
+  EXPECT_EQ(superlu.steady.median_collective_buffer(), 24u); // paper: 24
+
+  const auto paratec = run_experiment("paratec", 64);
+  EXPECT_EQ(paratec.steady.median_ptp_buffer(), 64u);        // paper: 64b
+}
+
+TEST(PaperIntegration, FcnUtilizationColumn) {
+  // util = avg TDC@2KB / (P-1): 3% gtc, ~9% cactus, 19% lbmhd, 22% superlu
+  // at P=64 (paper values; cactus lands ~7% because our avg is 4.5).
+  const auto gtc = run_experiment("gtc", 64);
+  EXPECT_NEAR(table3_row(gtc).fcn_utilization, 0.03, 0.005);
+  const auto lbmhd = run_experiment("lbmhd", 64);
+  EXPECT_NEAR(table3_row(lbmhd).fcn_utilization, 0.19, 0.01);
+  const auto superlu = run_experiment("superlu", 64);
+  EXPECT_NEAR(table3_row(superlu).fcn_utilization, 0.22, 0.01);
+  const auto pmemd = run_experiment("pmemd", 64);
+  EXPECT_NEAR(table3_row(pmemd).fcn_utilization, 1.0, 0.001);
+}
+
+TEST(PaperIntegration, GtcRawMaxTdcIs17AtP256) {
+  // Figure 5: raw (no cutoff) max TDC ~17, falling to 10 at the 2 KB cutoff.
+  const auto gtc = run_experiment("gtc", 256);
+  EXPECT_EQ(graph::tdc(gtc.comm_graph, 0).max, 17);
+  EXPECT_EQ(graph::tdc(gtc.comm_graph, graph::kBdpCutoffBytes).max, 10);
+}
+
+TEST(PaperIntegration, SuperluThresholdCollapse) {
+  // Figure 8: raw connectivity = P, collapsing to 30 at 2 KB (P=256).
+  const auto r = run_experiment("superlu", 256);
+  EXPECT_EQ(graph::tdc(r.comm_graph, 0).max, 255);
+  EXPECT_EQ(graph::tdc(r.comm_graph, graph::kBdpCutoffBytes).max, 30);
+}
+
+TEST(PaperIntegration, ParatecInsensitiveUntil32K) {
+  // Figure 10: only a >32 KB cutoff reduces PARATEC's connectivity.
+  const auto r = run_experiment("paratec", 64);
+  EXPECT_EQ(graph::tdc(r.comm_graph, 32 * 1024).max, 63);
+  EXPECT_LT(graph::tdc(r.comm_graph, 64 * 1024).max, 63);
+}
+
+TEST(PaperIntegration, CollectiveBuffersMostlyUnder2K) {
+  // Figure 3: ~90% of collective payloads at or below the 2 KB BDP.
+  util::LogHistogram all;
+  for (const char* app :
+       {"cactus", "gtc", "lbmhd", "superlu", "pmemd", "paratec"}) {
+    const auto r = run_experiment(app, 64);
+    all.merge(r.steady.collective_buffers());
+  }
+  EXPECT_GE(all.percent_at_or_below(2048), 85.0);
+  EXPECT_LT(all.percent_at_or_below(2048), 100.0);  // PMEMD allgather tail
+  EXPECT_GE(all.percent_at_or_below(100), 45.0);    // ~half under 100 bytes
+}
+
+TEST(PaperIntegration, ClassificationMatchesSection52) {
+  using core::CommCase;
+  const auto classify_app = [](const char* app) {
+    const auto s = run_experiment(app, 64);
+    const auto l = run_experiment(app, 256);
+    return core::classify(s.comm_graph, l.comm_graph).comm_case;
+  };
+  EXPECT_EQ(classify_app("cactus"), CommCase::kCaseI);
+  EXPECT_EQ(classify_app("lbmhd"), CommCase::kCaseII);
+  EXPECT_EQ(classify_app("gtc"), CommCase::kCaseIII);
+  EXPECT_EQ(classify_app("superlu"), CommCase::kCaseIII);
+  EXPECT_EQ(classify_app("pmemd"), CommCase::kCaseIII);
+  EXPECT_EQ(classify_app("paratec"), CommCase::kCaseIV);
+}
+
+}  // namespace
+}  // namespace hfast::analysis

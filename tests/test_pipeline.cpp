@@ -1,0 +1,128 @@
+/// End-to-end pipeline tests: application -> profile/trace -> graph ->
+/// provisioning -> network replay, plus the windowed-reconfiguration path.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/core/provision.hpp"
+#include "hfast/core/reconfigure.hpp"
+#include "hfast/netsim/replay.hpp"
+#include "hfast/topo/fat_tree.hpp"
+#include "hfast/topo/mesh.hpp"
+#include "hfast/trace/window.hpp"
+
+namespace hfast {
+namespace {
+
+TEST(Pipeline, ProvisionedFabricServesEveryApp) {
+  for (const char* app :
+       {"cactus", "gtc", "lbmhd", "superlu", "pmemd", "paratec"}) {
+    // LBMHD's offset stencil needs at least a 5x5 process grid.
+    const int p = std::string(app) == "lbmhd" ? 25 : 16;
+    const auto r = analysis::run_experiment(app, p);
+    for (auto strategy : {core::ProvisionStrategy::kGreedyPerNode,
+                          core::ProvisionStrategy::kCliqueShared}) {
+      const auto prov = core::provision(r.comm_graph, {}, strategy);
+      prov.fabric.validate();
+      EXPECT_TRUE(prov.fabric.serves(r.comm_graph, graph::kBdpCutoffBytes))
+          << app << " strategy " << static_cast<int>(strategy);
+    }
+  }
+}
+
+TEST(Pipeline, GreedyBlockCountMatchesDegreeFormula) {
+  // The on-demand chain allocator must land exactly on the paper's
+  // ceil((d-1)/(S-2)) block count for every node.
+  const auto r = analysis::run_experiment("pmemd", 16);
+  const auto prov = core::provision_greedy(r.comm_graph);
+  const auto degrees = r.comm_graph.degrees(graph::kBdpCutoffBytes);
+  int expected_blocks = 0;
+  for (int d : degrees) expected_blocks += core::greedy_blocks_for_degree(d, 16);
+  EXPECT_EQ(prov.stats.num_blocks, expected_blocks);
+}
+
+TEST(Pipeline, ReplayOnAllThreeNetworksCompletes) {
+  const auto r = analysis::run_experiment("lbmhd", 25);
+  const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+  ASSERT_GT(steady.events().size(), 0u);
+
+  const netsim::LinkParams link;
+  const auto prov = core::provision_greedy(r.comm_graph);
+  netsim::FabricNetwork hfast_net(prov.fabric, link, 50e-9);
+  const topo::MeshTorus torus(topo::MeshTorus::balanced_dims(25, 3), true);
+  netsim::DirectNetwork torus_net(torus, link);
+  const topo::FatTree ft(25, 8);
+  netsim::FatTreeNetwork ft_net(ft, link);
+
+  const auto on_hfast = netsim::replay(steady, hfast_net);
+  const auto on_torus = netsim::replay(steady, torus_net);
+  const auto on_ft = netsim::replay(steady, ft_net);
+
+  // Conservation: same messages and bytes on every network.
+  EXPECT_EQ(on_hfast.messages, on_torus.messages);
+  EXPECT_EQ(on_hfast.messages, on_ft.messages);
+  EXPECT_EQ(on_hfast.bytes, on_torus.bytes);
+  EXPECT_GT(on_hfast.makespan_s, 0.0);
+
+  // LBMHD's scattered pattern dilates on a torus: more switch hops than on
+  // the provisioned HFAST fabric (dedicated trunks: at most 2 blocks).
+  EXPECT_LE(on_hfast.max_switch_hops, 3);
+  EXPECT_GT(on_torus.avg_switch_hops, on_hfast.avg_switch_hops);
+}
+
+TEST(Pipeline, HfastHopCountBeatsDeepFatTree) {
+  // For a bounded-TDC code, a worst-case fat-tree route crosses 2L-1
+  // packet switches; the HFAST greedy fabric crosses at most a few blocks.
+  const auto r = analysis::run_experiment("cactus", 64);
+  const auto prov = core::provision_greedy(r.comm_graph);
+  const topo::FatTree deep(64, 4);  // radix-4: L=5, worst case 9 layers
+  EXPECT_EQ(deep.worst_case_traversals(), 9);
+  EXPECT_LE(prov.stats.max_switch_hops, 4);
+}
+
+TEST(Pipeline, WindowedReconfigurationOnRealTrace) {
+  const auto r = analysis::run_experiment("gtc", 128);
+  const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+  const auto graphs = trace::windowed_graphs(steady, 4);
+  ASSERT_EQ(graphs.size(), 4u);
+  // Union of windows equals the full steady graph's edges.
+  std::size_t union_edges = 0;
+  {
+    std::set<std::pair<int, int>> all;
+    for (const auto& g : graphs) {
+      for (const auto& [uv, stats] : g.edges()) {
+        (void)stats;
+        all.insert(uv);
+      }
+    }
+    union_edges = all.size();
+  }
+  EXPECT_EQ(union_edges, r.comm_graph.num_edges());
+
+  const auto report = core::plan_reconfigurations(graphs);
+  EXPECT_GT(report.peak_circuits, 0);
+  EXPECT_LE(report.peak_circuits, report.static_circuits);
+}
+
+TEST(Pipeline, TraceRoundTripPreservesReplay) {
+  const auto r = analysis::run_experiment("cactus", 8);
+  const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+  std::stringstream ss;
+  steady.save_text(ss);
+  const auto loaded = trace::Trace::load_text(ss);
+
+  const topo::MeshTorus torus({2, 2, 2}, true);
+  const netsim::LinkParams link;
+  netsim::DirectNetwork net1(torus, link);
+  netsim::DirectNetwork net2(torus, link);
+  const auto a = netsim::replay(steady, net1);
+  const auto b = netsim::replay(loaded, net2);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+}  // namespace
+}  // namespace hfast

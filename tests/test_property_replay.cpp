@@ -1,0 +1,127 @@
+/// Property tests for trace replay: conservation and monotonicity over
+/// randomized (but deadlock-free) traffic patterns on all network models.
+
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/core/provision.hpp"
+#include "hfast/netsim/fat_tree_net.hpp"
+#include "hfast/netsim/replay.hpp"
+#include "hfast/topo/fcn.hpp"
+#include "hfast/topo/mesh.hpp"
+#include "hfast/util/random.hpp"
+
+namespace hfast::netsim {
+namespace {
+
+using trace::CommEvent;
+using trace::EventKind;
+using trace::Trace;
+
+/// Random deadlock-free trace: every rank issues all its sends first, then
+/// receives (in randomized order) everything destined to it.
+Trace random_trace(int nranks, int messages, std::uint64_t seed,
+                   graph::CommGraph* graph_out = nullptr) {
+  util::Rng rng(seed);
+  std::vector<std::vector<CommEvent>> per_rank(
+      static_cast<std::size_t>(nranks));
+  std::vector<std::vector<CommEvent>> recvs(static_cast<std::size_t>(nranks));
+  if (graph_out != nullptr) *graph_out = graph::CommGraph(nranks);
+
+  for (int m = 0; m < messages; ++m) {
+    const int src = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(nranks)));
+    int dst = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(nranks)));
+    if (dst == src) dst = (dst + 1) % nranks;
+    const std::uint64_t bytes = 64 + rng.uniform(64 * 1024);
+    CommEvent send;
+    send.rank = src;
+    send.kind = EventKind::kSend;
+    send.peer = dst;
+    send.bytes = bytes;
+    per_rank[static_cast<std::size_t>(src)].push_back(send);
+    CommEvent recv;
+    recv.rank = dst;
+    recv.kind = EventKind::kRecv;
+    recv.peer = src;
+    recv.bytes = bytes;
+    recvs[static_cast<std::size_t>(dst)].push_back(recv);
+    if (graph_out != nullptr) graph_out->add_message(src, dst, bytes);
+  }
+
+  std::vector<CommEvent> all;
+  for (int r = 0; r < nranks; ++r) {
+    auto& mine = per_rank[static_cast<std::size_t>(r)];
+    rng.shuffle(recvs[static_cast<std::size_t>(r)]);
+    for (CommEvent e : recvs[static_cast<std::size_t>(r)]) mine.push_back(e);
+    std::uint64_t op = 0;
+    for (CommEvent& e : mine) e.op_index = op++;
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  return Trace(nranks, std::move(all), {""});
+}
+
+class ReplayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayProperty, ConservationAcrossAllNetworkModels) {
+  graph::CommGraph g(16);
+  const auto t = random_trace(16, 200, GetParam(), &g);
+  const std::uint64_t expected_bytes = g.total_bytes();
+
+  const LinkParams link;
+  topo::FullyConnected fcn(16);
+  DirectNetwork fcn_net(fcn, link);
+  const topo::MeshTorus torus({4, 4}, true);
+  DirectNetwork torus_net(torus, link);
+  StructuralFatTree sft(16, 8, link);
+  const auto prov = core::provision_greedy(g, {.cutoff = 0});
+  FabricNetwork fab(prov.fabric, link, 50e-9);
+
+  double last_makespan = 0.0;
+  for (Network* net : {static_cast<Network*>(&fcn_net),
+                       static_cast<Network*>(&torus_net),
+                       static_cast<Network*>(&sft),
+                       static_cast<Network*>(&fab)}) {
+    const auto r = replay(t, *net);
+    EXPECT_EQ(r.messages, 200u) << net->name();
+    EXPECT_EQ(r.bytes, expected_bytes) << net->name();
+    EXPECT_GT(r.makespan_s, 0.0) << net->name();
+    EXPECT_GE(r.max_message_latency_s, r.avg_message_latency_s);
+    EXPECT_GE(r.max_switch_hops, 1);
+    last_makespan = r.makespan_s;
+  }
+  (void)last_makespan;
+}
+
+TEST_P(ReplayProperty, SlowerLinksNeverShortenMakespan) {
+  const auto t = random_trace(8, 80, GetParam());
+  topo::FullyConnected fcn(8);
+  LinkParams fast;
+  fast.bandwidth_bps = 10e9;
+  LinkParams slow = fast;
+  slow.bandwidth_bps = 1e9;
+  DirectNetwork fast_net(fcn, fast);
+  DirectNetwork slow_net(fcn, slow);
+  const auto rf = replay(t, fast_net);
+  const auto rs = replay(t, slow_net);
+  EXPECT_LE(rf.makespan_s, rs.makespan_s);
+  EXPECT_LE(rf.avg_message_latency_s, rs.avg_message_latency_s);
+}
+
+TEST_P(ReplayProperty, ReplayIsDeterministic) {
+  const auto t = random_trace(12, 150, GetParam());
+  const topo::MeshTorus torus({3, 2, 2}, true);
+  const LinkParams link;
+  DirectNetwork a(torus, link);
+  DirectNetwork b(torus, link);
+  const auto ra = replay(t, a);
+  const auto rb = replay(t, b);
+  EXPECT_DOUBLE_EQ(ra.makespan_s, rb.makespan_s);
+  EXPECT_DOUBLE_EQ(ra.total_recv_wait_s, rb.total_recv_wait_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayProperty,
+                         ::testing::Values(11ULL, 22ULL, 33ULL, 44ULL, 55ULL));
+
+}  // namespace
+}  // namespace hfast::netsim

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/topo/anneal.hpp"
+#include "hfast/topo/mesh.hpp"
+
+namespace hfast::topo {
+namespace {
+
+graph::CommGraph grid_graph(int side) {
+  graph::CommGraph g(side * side);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      const int u = r * side + c;
+      g.add_message(u, r * side + (c + 1) % side, 8192);
+      g.add_message(u, ((r + 1) % side) * side + c, 8192);
+    }
+  }
+  return g;
+}
+
+TEST(Anneal, ImprovesRandomPlacement) {
+  const auto g = grid_graph(4);
+  MeshTorus torus({4, 4}, true);
+  util::Rng rng(7);
+  const auto start = random_embedding(16, 16, rng);
+  const auto start_q = evaluate_embedding(g, torus, start);
+
+  AnnealParams params;
+  params.iterations = 30000;
+  const auto result = anneal_embedding(g, torus, start, params);
+  EXPECT_EQ(result.initial_cost, start_q.total_byte_hops);
+  EXPECT_LT(result.final_cost, result.initial_cost);
+  EXPECT_GT(result.improving_moves, 0);
+
+  const auto final_q = evaluate_embedding(g, torus, result.embedding);
+  EXPECT_EQ(final_q.total_byte_hops, result.final_cost);
+}
+
+TEST(Anneal, PerfectEmbeddingStaysOptimal) {
+  // Identity placement of a 4x4 torus graph on a 4x4 torus is optimal
+  // (every edge dilation 1); annealing must not make it worse.
+  const auto g = grid_graph(4);
+  MeshTorus torus({4, 4}, true);
+  const auto result =
+      anneal_embedding(g, torus, identity_embedding(16), {});
+  EXPECT_EQ(result.final_cost, result.initial_cost);
+  EXPECT_EQ(result.initial_cost, g.total_bytes());  // all dilation-1
+}
+
+TEST(Anneal, ResultIsPermutation) {
+  const auto g = grid_graph(4);
+  MeshTorus torus({4, 4}, true);
+  util::Rng rng(3);
+  const auto result =
+      anneal_embedding(g, torus, random_embedding(16, 16, rng), {});
+  std::set<Node> seen(result.embedding.node_of_task.begin(),
+                      result.embedding.node_of_task.end());
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Anneal, DeterministicUnderSeed) {
+  const auto g = grid_graph(4);
+  MeshTorus torus({4, 4}, true);
+  util::Rng rng(9);
+  const auto start = random_embedding(16, 16, rng);
+  AnnealParams params;
+  params.seed = 1234;
+  const auto a = anneal_embedding(g, torus, start, params);
+  const auto b = anneal_embedding(g, torus, start, params);
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  EXPECT_EQ(a.embedding.node_of_task, b.embedding.node_of_task);
+}
+
+TEST(Anneal, ZeroIterationsIsIdentityTransform) {
+  const auto g = grid_graph(4);
+  MeshTorus torus({4, 4}, true);
+  AnnealParams params;
+  params.iterations = 0;
+  const auto start = identity_embedding(16);
+  const auto result = anneal_embedding(g, torus, start, params);
+  EXPECT_EQ(result.embedding.node_of_task, start.node_of_task);
+  EXPECT_EQ(result.accepted_moves, 0);
+}
+
+TEST(Anneal, InputValidation) {
+  const auto g = grid_graph(4);
+  MeshTorus torus({4, 4}, true);
+  EXPECT_THROW(anneal_embedding(g, torus, Embedding{{0, 1}}, {}),
+               ContractViolation);
+  AnnealParams bad;
+  bad.cooling = 1.5;
+  EXPECT_THROW(anneal_embedding(g, torus, identity_embedding(16), bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::topo

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/topo/degraded.hpp"
+#include "hfast/topo/embedding.hpp"
+#include "hfast/topo/mesh.hpp"
+
+namespace hfast::topo {
+namespace {
+
+TEST(Degraded, HealthyWrapperIsTransparent) {
+  MeshTorus torus({4, 4}, true);
+  DegradedTopology d(torus);
+  EXPECT_EQ(d.num_nodes(), 16);
+  for (Node u = 0; u < 16; ++u) {
+    EXPECT_EQ(d.neighbors(u), torus.neighbors(u));
+  }
+  EXPECT_EQ(d.distance(0, 10), torus.distance(0, 10));
+}
+
+TEST(Degraded, FailedNodeDisappearsFromWiring) {
+  MeshTorus torus({4, 4}, true);
+  DegradedTopology d(torus);
+  d.fail_node(5);
+  EXPECT_TRUE(d.node_failed(5));
+  EXPECT_EQ(d.num_failed_nodes(), 1);
+  EXPECT_TRUE(d.neighbors(5).empty());
+  for (Node u : torus.neighbors(5)) {
+    const auto nbrs = d.neighbors(u);
+    EXPECT_EQ(std::find(nbrs.begin(), nbrs.end(), 5), nbrs.end());
+  }
+  EXPECT_EQ(d.healthy_nodes().size(), 15u);
+}
+
+TEST(Degraded, RoutesDetourAroundFailures) {
+  // A ring: failing one node forces the long way around.
+  MeshTorus ring({8}, true);
+  DegradedTopology d(ring);
+  EXPECT_EQ(d.distance(0, 2), 2);
+  d.fail_node(1);
+  EXPECT_EQ(d.distance(0, 2), 6);  // all the way around
+}
+
+TEST(Degraded, FailedLinkOnly) {
+  MeshTorus ring({6}, true);
+  DegradedTopology d(ring);
+  d.fail_link(0, 1);
+  // Nodes stay up, the link is gone both ways.
+  const auto n0 = d.neighbors(0);
+  EXPECT_EQ(std::find(n0.begin(), n0.end(), 1), n0.end());
+  const auto n1 = d.neighbors(1);
+  EXPECT_EQ(std::find(n1.begin(), n1.end(), 0), n1.end());
+  EXPECT_EQ(d.distance(0, 1), 5);
+}
+
+TEST(Degraded, DisconnectionIsDiagnosed) {
+  MeshTorus path({4}, false);
+  DegradedTopology d(path);
+  d.fail_node(1);
+  EXPECT_THROW(d.route(0, 2), ContractViolation);
+}
+
+TEST(Degraded, EmbeddingOnHealthySubsetAvoidsFailures) {
+  MeshTorus torus({4, 4}, true);
+  DegradedTopology d(torus);
+  d.fail_node(3);
+  d.fail_node(7);
+  graph::CommGraph g(8);
+  for (int i = 0; i < 8; ++i) g.add_message(i, (i + 1) % 8, 4096);
+  const auto emb = greedy_embedding(g, d, d.healthy_nodes());
+  for (Node n : emb.node_of_task) {
+    EXPECT_FALSE(d.node_failed(n));
+  }
+  const auto q = evaluate_embedding(g, d, emb);
+  EXPECT_GE(q.avg_dilation, 1.0);
+}
+
+TEST(Degraded, GreedyEmbeddingValidatesAllowedNodes) {
+  MeshTorus torus({4}, true);
+  graph::CommGraph g(2);
+  g.add_message(0, 1, 64);
+  EXPECT_THROW(greedy_embedding(g, torus, {0, 9}), ContractViolation);
+  EXPECT_THROW(greedy_embedding(g, torus, {0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::topo

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/topo/embedding.hpp"
+#include "hfast/topo/fcn.hpp"
+#include "hfast/topo/mesh.hpp"
+
+namespace hfast::topo {
+namespace {
+
+graph::CommGraph ring_graph(int n) {
+  graph::CommGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_message(i, (i + 1) % n, 4096);
+  return g;
+}
+
+TEST(Embedding, IdentityIsIota) {
+  const auto e = identity_embedding(5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(e(i), i);
+}
+
+TEST(Embedding, RandomIsPermutationOfSubset) {
+  util::Rng rng(1);
+  const auto e = random_embedding(6, 10, rng);
+  ASSERT_EQ(e.node_of_task.size(), 6u);
+  std::set<Node> uniq(e.node_of_task.begin(), e.node_of_task.end());
+  EXPECT_EQ(uniq.size(), 6u);
+  for (Node n : e.node_of_task) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 10);
+  }
+  EXPECT_THROW(random_embedding(11, 10, rng), ContractViolation);
+}
+
+TEST(Embedding, EvaluateOnFcnIsAlwaysDilationOne) {
+  const auto g = ring_graph(8);
+  FullyConnected fcn(8);
+  const auto q = evaluate_embedding(g, fcn, identity_embedding(8));
+  EXPECT_DOUBLE_EQ(q.avg_dilation, 1.0);
+  EXPECT_EQ(q.max_dilation, 1);
+  EXPECT_EQ(q.max_link_load, 4096u);
+}
+
+TEST(Embedding, IdentityRingOnRingTorusIsPerfect) {
+  const auto g = ring_graph(8);
+  MeshTorus ring_topo({8}, true);
+  const auto q = evaluate_embedding(g, ring_topo, identity_embedding(8));
+  EXPECT_DOUBLE_EQ(q.avg_dilation, 1.0);
+  EXPECT_EQ(q.max_dilation, 1);
+}
+
+TEST(Embedding, GreedyBeatsRandomOnStructuredPattern) {
+  // 4x4 grid communication on a 4x4 torus: greedy placement should achieve
+  // (near-)unit dilation, random placement almost surely not.
+  graph::CommGraph g(16);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const int u = r * 4 + c;
+      g.add_message(u, r * 4 + (c + 1) % 4, 8192);
+      g.add_message(u, ((r + 1) % 4) * 4 + c, 8192);
+    }
+  }
+  MeshTorus torus({4, 4}, true);
+  const auto greedy = evaluate_embedding(g, torus, greedy_embedding(g, torus));
+  util::Rng rng(99);
+  const auto random = evaluate_embedding(
+      g, torus, random_embedding(16, 16, rng));
+  EXPECT_LT(greedy.avg_dilation, random.avg_dilation);
+  EXPECT_LE(greedy.avg_dilation, 2.0);
+}
+
+TEST(Embedding, CongestionAccountsSharedLinks) {
+  // Two tasks routing through the same middle node of a path.
+  graph::CommGraph g(3);
+  g.add_message(0, 2, 1000);
+  g.add_message(1, 2, 500);
+  MeshTorus path({3}, false);
+  const auto q = evaluate_embedding(g, path, identity_embedding(3));
+  // Edge 0-2 routes 0-1-2 (2 hops); link 1-2 carries both flows.
+  EXPECT_EQ(q.max_link_load, 1500u);
+  EXPECT_EQ(q.max_dilation, 2);
+  EXPECT_EQ(q.total_byte_hops, 1000u * 2 + 500u * 1);
+}
+
+TEST(Embedding, SizeMismatchRejected) {
+  const auto g = ring_graph(4);
+  MeshTorus t({4}, true);
+  Embedding bad{{0, 1}};
+  EXPECT_THROW(evaluate_embedding(g, t, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::topo

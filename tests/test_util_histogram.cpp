@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/util/histogram.hpp"
+
+namespace hfast::util {
+namespace {
+
+TEST(LogHistogram, EmptyBehaviour) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_TRUE(h.cdf().empty());
+  EXPECT_DOUBLE_EQ(h.percent_at_or_below(100), 0.0);
+  EXPECT_THROW(h.min_size(), ContractViolation);
+}
+
+TEST(LogHistogram, CdfIsMonotoneAndEndsAt100) {
+  LogHistogram h;
+  h.add(8, 10);
+  h.add(1024, 30);
+  h.add(64, 60);
+  const auto cdf = h.cdf();
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_EQ(cdf[0].size, 8u);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative_percent, 10.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cumulative_percent, 70.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative_percent, 100.0);
+}
+
+TEST(LogHistogram, PercentAtOrBelow) {
+  LogHistogram h;
+  h.add(100, 50);
+  h.add(3000, 50);
+  EXPECT_DOUBLE_EQ(h.percent_at_or_below(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.percent_at_or_below(100), 50.0);
+  EXPECT_DOUBLE_EQ(h.percent_at_or_below(2048), 50.0);
+  EXPECT_DOUBLE_EQ(h.percent_at_or_below(3000), 100.0);
+}
+
+TEST(LogHistogram, MedianAndExtremes) {
+  LogHistogram h;
+  h.add(10, 3);
+  h.add(1000, 2);
+  EXPECT_EQ(h.median(), 10u);
+  EXPECT_EQ(h.min_size(), 10u);
+  EXPECT_EQ(h.max_size(), 1000u);
+  EXPECT_EQ(h.total_bytes(), 10u * 3 + 1000u * 2);
+}
+
+TEST(LogHistogram, MergeAccumulates) {
+  LogHistogram a, b;
+  a.add(10, 1);
+  b.add(10, 2);
+  b.add(20, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.raw().at(10), 3u);
+  EXPECT_EQ(a.raw().at(20), 1u);
+}
+
+TEST(LogHistogram, Pow2Buckets) {
+  LogHistogram h;
+  h.add(0, 1);
+  h.add(1, 1);
+  h.add(3, 1);   // -> bucket 4
+  h.add(4, 1);   // -> bucket 4
+  h.add(5, 1);   // -> bucket 8
+  const auto buckets = h.pow2_buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], (std::pair<std::uint64_t, std::uint64_t>{0, 1}));
+  EXPECT_EQ(buckets[1], (std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(buckets[2], (std::pair<std::uint64_t, std::uint64_t>{4, 2}));
+  EXPECT_EQ(buckets[3], (std::pair<std::uint64_t, std::uint64_t>{8, 1}));
+}
+
+}  // namespace
+}  // namespace hfast::util

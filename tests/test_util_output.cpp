@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include <sstream>
+
+#include "hfast/util/ascii_plot.hpp"
+#include "hfast/util/format.hpp"
+#include "hfast/util/table.hpp"
+
+namespace hfast::util {
+namespace {
+
+TEST(Table, AlignsAndPrintsAllCells) {
+  Table t({"Name", "Value"});
+  t.row().add("alpha").add(std::int64_t{42});
+  t.row().add("b").add(3.14159, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RowOverflowIsContractViolation) {
+  Table t({"A"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, AddBeforeRowIsContractViolation) {
+  Table t({"A"});
+  EXPECT_THROW(t.add("x"), ContractViolation);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x", "note"});
+  t.row().add("1").add("hello, \"world\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Format, SizeLabels) {
+  EXPECT_EQ(size_label(0), "0");
+  EXPECT_EQ(size_label(512), "512");
+  EXPECT_EQ(size_label(2048), "2k");
+  EXPECT_EQ(size_label(1024 * 1024), "1MB");
+  EXPECT_EQ(size_label(1536), "1.5k");
+}
+
+TEST(Format, RateAndByteLabels) {
+  EXPECT_EQ(rate_label(1.9e9), "1.9 GB/s");
+  EXPECT_EQ(rate_label(500e6), "500 MB/s");
+  EXPECT_EQ(bytes_label(2048), "2.0 KB");
+  EXPECT_EQ(percent_label(12.34, 1), "12.3%");
+}
+
+TEST(Format, TimeLabels) {
+  EXPECT_EQ(time_label(1.1e-6), "1.1us");
+  EXPECT_EQ(time_label(2.5e-3), "2.5ms");
+  EXPECT_EQ(time_label(3.0), "3.0s");
+  EXPECT_EQ(time_label(50e-9), "50.0ns");
+}
+
+TEST(AsciiPlot, LineChartContainsSeriesAndLegend) {
+  Series s1{"max", {1, 2, 3}};
+  Series s2{"avg", {0.5, 1.0, 1.5}};
+  const auto chart = line_chart("title", {"a", "b", "c"}, {s1, s2});
+  EXPECT_NE(chart.find("title"), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+  EXPECT_NE(chart.find("max"), std::string::npos);
+  EXPECT_NE(chart.find("avg"), std::string::npos);
+}
+
+TEST(AsciiPlot, LineChartValidatesShape) {
+  Series bad{"s", {1, 2}};
+  EXPECT_THROW(line_chart("t", {"a", "b", "c"}, {bad}), ContractViolation);
+  EXPECT_THROW(line_chart("t", {}, {}), ContractViolation);
+}
+
+TEST(AsciiPlot, HeatmapRendersSquareMatrix) {
+  std::vector<std::vector<double>> m(8, std::vector<double>(8, 0.0));
+  m[1][2] = 100.0;
+  const auto hm = heatmap("vol", m);
+  EXPECT_NE(hm.find("vol"), std::string::npos);
+  EXPECT_NE(hm.find("8x8"), std::string::npos);
+  // The hot cell renders with the densest ramp glyph.
+  EXPECT_NE(hm.find('@'), std::string::npos);
+}
+
+TEST(AsciiPlot, HeatmapRejectsRaggedMatrix) {
+  std::vector<std::vector<double>> m{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(heatmap("x", m), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast::util

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "hfast/util/assert.hpp"
+
+#include "hfast/util/stats.hpp"
+
+namespace hfast::util {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, PercentileContract) {
+  EXPECT_THROW(percentile({1.0}, -1), hfast::ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 101), hfast::ContractViolation);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, WeightedMedianLowerMedian) {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  EXPECT_EQ(weighted_median(counts), 0u);
+  counts[100] = 1;
+  EXPECT_EQ(weighted_median(counts), 100u);
+  counts[200] = 1;  // even total: lower median
+  EXPECT_EQ(weighted_median(counts), 100u);
+  counts[200] = 3;  // 1x100, 3x200 -> rank 2 of 4 -> 200
+  EXPECT_EQ(weighted_median(counts), 200u);
+  counts.clear();
+  counts[64] = 1000;
+  counts[1048576] = 999;
+  EXPECT_EQ(weighted_median(counts), 64u);
+}
+
+TEST(Accumulator, TracksMinMaxMeanCount) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.add(3.0);
+  acc.add(-1.0);
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace hfast::util
