@@ -5,7 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
-#include "hfast/analysis/experiment.hpp"
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "hfast/analysis/batch.hpp"
 #include "hfast/core/provision.hpp"
 #include "hfast/graph/clique.hpp"
 #include "hfast/graph/tdc.hpp"
@@ -97,6 +102,34 @@ void BM_runtime_ring(benchmark::State& state) {
 }
 BENCHMARK(BM_runtime_ring)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
+/// The experiment sweep every paper artifact hammers, at two thread
+/// budgets: Arg(1) degenerates to a strictly sequential sweep (the
+/// pre-BatchRunner baseline), Arg(0) uses the default budget (4x cores).
+/// lbmhd is absent because it needs a >= 5x5 square grid — too wide for a
+/// bench meant to keep several jobs in flight under small budgets.
+std::vector<analysis::ExperimentConfig> sweep_jobs() {
+  return analysis::sweep_configs({"cactus", "gtc", "superlu"}, {8, 16},
+                                 {1, 2});
+}
+
+void BM_batch_sweep(benchmark::State& state) {
+  const auto configs = sweep_jobs();
+  const analysis::BatchRunner runner(
+      {.thread_budget = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    auto r = runner.run(configs);
+    if (!r.ok()) {
+      state.SkipWithError("batch job failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_batch_sweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
 void BM_replay_torus(benchmark::State& state) {
   const auto r = analysis::run_experiment("cactus", 64);
   const auto steady = r.trace.filter_region(apps::kSteadyRegion);
@@ -111,6 +144,50 @@ void BM_replay_torus(benchmark::State& state) {
 }
 BENCHMARK(BM_replay_torus)->Unit(benchmark::kMillisecond);
 
+/// Emit the sweep-engine datapoint the roadmap tracks: sequential vs
+/// batched wall time for the standard job set, as BENCH_batch_sweep.json
+/// in the working directory.
+void write_batch_sweep_datapoint() {
+  const auto configs = sweep_jobs();
+  const auto time_sweep = [&configs](int budget) {
+    const analysis::BatchRunner runner({.thread_budget = budget});
+    const auto start = std::chrono::steady_clock::now();
+    const auto r = runner.run(configs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return r.ok() ? wall : -1.0;
+  };
+  const double seq = time_sweep(1);
+  const double par = time_sweep(0);
+  if (seq < 0.0 || par < 0.0) {
+    std::cerr << "BENCH_batch_sweep: sweep failed, no datapoint written\n";
+    return;
+  }
+  std::ofstream os("BENCH_batch_sweep.json");
+  os << "{\n"
+     << "  \"bench\": \"batch_sweep\",\n"
+     << "  \"jobs\": " << configs.size() << ",\n"
+     << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ",\n"
+     << "  \"thread_budget\": "
+     << analysis::BatchRunner({.thread_budget = 0}).thread_budget() << ",\n"
+     << "  \"sequential_seconds\": " << seq << ",\n"
+     << "  \"batched_seconds\": " << par << ",\n"
+     << "  \"speedup\": " << (par > 0.0 ? seq / par : 0.0) << "\n"
+     << "}\n";
+  std::cout << "BENCH_batch_sweep.json: " << configs.size() << " jobs, "
+            << seq << " s sequential, " << par << " s batched ("
+            << (par > 0.0 ? seq / par : 0.0) << "x)\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_batch_sweep_datapoint();
+  return 0;
+}

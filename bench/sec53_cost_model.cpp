@@ -9,9 +9,10 @@
 ///  (3) per-application cost at P=256 (the Cactus worked example:
 ///      avg/max TDC 6 -> one block per node, Nactive = P).
 
+#include <cstdlib>
 #include <iostream>
 
-#include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/batch.hpp"
 #include "hfast/core/cost_model.hpp"
 #include "hfast/core/provision.hpp"
 #include "hfast/topo/fat_tree.hpp"
@@ -51,26 +52,45 @@ int main() {
   util::Table ct({"P", "App", "TDC@2KB max", "Block size", "HFAST blocks",
                   "HFAST pkt ports/proc", "Fat-tree(8) ports/proc",
                   "Fat-tree(16) ports/proc"});
+  // All twelve (P, app) experiments run as one parallel batch; results come
+  // back in input order, so the table below reads them off sequentially.
+  const std::vector<std::string> kApps{"cactus", "gtc",    "lbmhd",
+                                       "superlu", "pmemd", "paratec"};
+  std::vector<analysis::ExperimentConfig> configs;
   for (int p : {64, 256}) {
-    for (const char* app : {"cactus", "gtc", "lbmhd", "superlu", "pmemd",
-                            "paratec"}) {
-      const auto r = analysis::run_experiment(app, p);
-      const auto t = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
-      core::ProvisionParams pp;
-      pp.block_size = t.max < 8 ? 8 : 16;  // size blocks to the workload
-      const auto prov = core::provision_greedy(r.comm_graph, pp);
-      const topo::FatTree ft8(p, 8);
-      const topo::FatTree ft16(p, 16);
-      ct.row()
-          .add(p)
-          .add(app)
-          .add(t.max)
-          .add(pp.block_size)
-          .add(prov.stats.num_blocks)
-          .add(static_cast<double>(prov.fabric.packet_ports()) / p, 2)
-          .add(ft8.ports_per_processor())
-          .add(ft16.ports_per_processor());
+    for (const std::string& app : kApps) {
+      analysis::ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.nranks = p;
+      configs.push_back(cfg);
     }
+  }
+  const auto batch = analysis::BatchRunner().run(configs);
+  if (!batch.ok()) {
+    for (const auto& e : batch.errors) {
+      std::cerr << "experiment failed: " << e.job << ": " << e.message << "\n";
+    }
+    return EXIT_FAILURE;
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const int p = configs[i].nranks;
+    const std::string& app = configs[i].app;
+    const auto& r = *batch.results[i];
+    const auto t = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
+    core::ProvisionParams pp;
+    pp.block_size = t.max < 8 ? 8 : 16;  // size blocks to the workload
+    const auto prov = core::provision_greedy(r.comm_graph, pp);
+    const topo::FatTree ft8(p, 8);
+    const topo::FatTree ft16(p, 16);
+    ct.row()
+        .add(p)
+        .add(app)
+        .add(t.max)
+        .add(pp.block_size)
+        .add(prov.stats.num_blocks)
+        .add(static_cast<double>(prov.fabric.packet_ports()) / p, 2)
+        .add(ft8.ports_per_processor())
+        .add(ft16.ports_per_processor());
   }
   ct.print(std::cout);
 

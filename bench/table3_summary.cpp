@@ -4,9 +4,10 @@
 /// TDC at the 2 KB cutoff, and FCN utilization — at P=64 and P=256, plus
 /// the §5.2 case classification of every code.
 
+#include <cstdlib>
 #include <iostream>
 
-#include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/batch.hpp"
 #include "hfast/analysis/paper_tables.hpp"
 #include "hfast/core/classify.hpp"
 #include "hfast/util/table.hpp"
@@ -41,15 +42,29 @@ constexpr PaperRow kPaper[] = {
 }  // namespace
 
 int main() {
+  // One parallel sweep produces every (app, P) experiment; configs come
+  // back in input order, so app i owns results [2i] (P=64) and [2i+1]
+  // (P=256).
+  std::vector<std::string> names;
+  for (const apps::App& a : apps::registry()) names.push_back(a.info.name);
+  const auto configs = analysis::sweep_configs(names, {64, 256});
+  const auto batch = analysis::BatchRunner().run(configs);
+  if (!batch.ok()) {
+    for (const auto& e : batch.errors) {
+      std::cerr << "experiment failed: " << e.job << ": " << e.message << "\n";
+    }
+    return EXIT_FAILURE;
+  }
+
   std::vector<analysis::Table3Row> rows;
   std::vector<std::string> classifications;
-  for (const apps::App& a : apps::registry()) {
-    const auto small = analysis::run_experiment(a.info.name, 64);
-    const auto large = analysis::run_experiment(a.info.name, 256);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& small = *batch.results[2 * i];
+    const auto& large = *batch.results[2 * i + 1];
     rows.push_back(analysis::table3_row(small));
     rows.push_back(analysis::table3_row(large));
     const auto cls = core::classify(small.comm_graph, large.comm_graph);
-    classifications.push_back(a.info.name + ": " +
+    classifications.push_back(names[i] + ": " +
                               core::to_string(cls.comm_case) + " — " +
                               cls.rationale);
   }

@@ -1,12 +1,18 @@
 /// \file profile_apps.cpp
 /// Profile the six paper applications at a chosen concurrency and print
 /// the per-app communication characteristics (the paper's §4 study in one
-/// command). Usage: profile_apps [nranks]   (default 64)
+/// command). The experiments run as one parallel batch.
+///
+/// Usage: profile_apps [nranks] [--threads N]
+///   nranks       concurrency per application (default 64)
+///   --threads N  live-thread budget for the batch engine
+///                (default: 4x hardware concurrency)
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
-#include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/batch.hpp"
 #include "hfast/analysis/paper_tables.hpp"
 #include "hfast/core/classify.hpp"
 #include "hfast/ipm/text_report.hpp"
@@ -16,20 +22,41 @@
 using namespace hfast;
 
 int main(int argc, char** argv) {
-  const int nranks = argc > 1 ? std::atoi(argv[1]) : 64;
+  int nranks = 64;
+  analysis::BatchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.thread_budget = std::atoi(argv[++i]);
+    } else {
+      nranks = std::atoi(argv[i]);
+    }
+  }
 
-  std::vector<analysis::Table3Row> rows;
+  std::vector<std::string> names;
   for (const apps::App& app : apps::registry()) {
     if (!apps::valid_concurrency(app, nranks)) {
       std::cout << app.info.name << ": skipped (P=" << nranks
                 << " unsupported)\n";
       continue;
     }
-    const auto result = analysis::run_experiment(app.info.name, nranks);
+    names.push_back(app.info.name);
+  }
+
+  const analysis::BatchRunner runner(opts);
+  const auto batch = runner.run(analysis::sweep_configs(names, {nranks}));
+  for (const auto& e : batch.errors) {
+    std::cerr << "experiment failed: " << e.job << ": " << e.message << "\n";
+  }
+
+  std::vector<analysis::Table3Row> rows;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!batch.results[i].has_value()) continue;
+    const auto& result = *batch.results[i];
     rows.push_back(analysis::table3_row(result));
 
     const auto cls = core::classify(result.comm_graph);
-    util::print_banner(std::cout, app.info.name + " @ P=" + std::to_string(nranks));
+    util::print_banner(std::cout,
+                       names[i] + " @ P=" + std::to_string(nranks));
     analysis::render_call_breakdown(result).print(std::cout);
     std::cout << "classification: " << core::to_string(cls.comm_case) << "\n"
               << "  (" << cls.rationale << ")\n";
@@ -37,10 +64,13 @@ int main(int argc, char** argv) {
 
   util::print_banner(std::cout, "Summary (paper Table 3 columns)");
   analysis::render_table3(rows).print(std::cout);
+  std::cout << "batch: " << names.size() << " experiments in "
+            << batch.wall_seconds << " s under a "
+            << runner.thread_budget() << "-thread budget\n";
 
   // Full IPM-style banner for one representative code (gtc), run with
   // direct access to the per-rank profiles.
-  {
+  if (apps::valid_concurrency(apps::find("gtc"), nranks)) {
     mpisim::Runtime rt(mpisim::RuntimeConfig{.nranks = nranks});
     std::vector<std::unique_ptr<ipm::RankProfile>> profiles;
     for (int r = 0; r < nranks; ++r) {

@@ -1,0 +1,91 @@
+#pragma once
+/// \file batch.hpp
+/// Parallel sweep engine for the paper's experiment matrix. Every artifact
+/// (Table 3, the §5.2 classification, the §5.3 cost model) is produced by
+/// sweeping run_experiment over app × P × seed; BatchRunner fans those jobs
+/// across cores under a *thread* budget — each experiment holds `nranks`
+/// live threads while it runs (the runtime spawns one per rank), so the
+/// scheduler admits jobs by weight, not by count. Replay jobs (one thread
+/// each) ride the same scheduler.
+///
+/// Guarantees:
+///  * results come back in input order, independent of completion order;
+///  * a failing job is captured as a structured JobError and leaves its
+///    siblings untouched — a sweep never aborts wholesale;
+///  * jobs wider than the budget still run (alone), so a 256-rank
+///    experiment works under an 8-thread budget.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/netsim/replay.hpp"
+
+namespace hfast::analysis {
+
+struct BatchOptions {
+  /// Global live-thread budget across all in-flight jobs. 0 = 4x hardware
+  /// concurrency (rank threads are synchronization-bound, so moderate
+  /// oversubscription keeps cores busy; see batch.cpp). One job is always
+  /// admitted regardless of its weight, so `thread_budget = 1` degenerates
+  /// to a strictly sequential sweep.
+  int thread_budget = 0;
+};
+
+/// One failed job of a sweep, reported instead of thrown.
+struct JobError {
+  std::size_t index = 0;  ///< position in the input vector
+  std::string job;        ///< human-readable label ("cactus P=64 seed=1")
+  std::string message;    ///< the exception's what()
+};
+
+/// Sweep outcome: `results[i]` corresponds to input job i and is empty
+/// exactly when `errors` holds an entry with index i.
+template <typename T>
+struct BatchResult {
+  std::vector<std::optional<T>> results;
+  std::vector<JobError> errors;  ///< sorted by index
+  double wall_seconds = 0.0;
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// A trace replay on a freshly built network. The factory runs inside the
+/// worker (network state is mutable, so each job needs its own instance);
+/// the trace is borrowed and must outlive the sweep.
+struct ReplayJob {
+  std::string label;
+  const trace::Trace* trace = nullptr;
+  std::function<std::unique_ptr<netsim::Network>()> make_network;
+  netsim::ReplayParams params;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions opts = {});
+
+  /// Run every experiment config; weight = config.nranks threads.
+  BatchResult<ExperimentResult> run(
+      const std::vector<ExperimentConfig>& configs) const;
+
+  /// Replay every job; weight = 1 thread each.
+  BatchResult<netsim::ReplayResult> run_replays(
+      const std::vector<ReplayJob>& jobs) const;
+
+  int thread_budget() const noexcept { return budget_; }
+
+ private:
+  int budget_;
+};
+
+/// Cross product app × P × seed in input order, skipping (app, P)
+/// combinations the kernel's structure does not support.
+std::vector<ExperimentConfig> sweep_configs(
+    const std::vector<std::string>& apps, const std::vector<int>& nranks,
+    const std::vector<std::uint64_t>& seeds = {1});
+
+}  // namespace hfast::analysis

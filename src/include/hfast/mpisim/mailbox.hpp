@@ -20,6 +20,8 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "hfast/mpisim/message.hpp"
 
@@ -27,8 +29,20 @@ namespace hfast::mpisim {
 
 class Mailbox {
  public:
-  Mailbox(const std::atomic<bool>* abort_flag, std::chrono::milliseconds timeout)
-      : abort_flag_(abort_flag), timeout_(timeout) {}
+  /// `nranks_hint` pre-sizes the per-source bucket arrays (and pre-creates
+  /// the world-communicator buckets) so steady-state delivery never grows a
+  /// container; 0 grows lazily (unit tests).
+  Mailbox(const std::atomic<bool>* abort_flag, std::chrono::milliseconds timeout,
+          int nranks_hint = 0)
+      : abort_flag_(abort_flag),
+        timeout_(timeout),
+        nranks_hint_(nranks_hint > 0 ? static_cast<std::size_t>(nranks_hint)
+                                     : 0) {
+    if (nranks_hint_ > 0) {
+      buckets_[{0, false}].resize(nranks_hint_);
+      buckets_[{0, true}].resize(nranks_hint_);
+    }
+  }
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
@@ -58,6 +72,10 @@ class Mailbox {
   /// Wake all waiters (used when the abort flag is raised).
   void interrupt();
 
+  /// Drop all queued messages and rewind counters, keeping the bucket
+  /// arrays (and their deque capacity) for the next run.
+  void reset();
+
   /// Number of queued (unmatched) messages; used by tests and by the
   /// runtime's leak check at teardown.
   std::size_t pending() const;
@@ -67,19 +85,27 @@ class Mailbox {
     Message msg;
     std::uint64_t arrival = 0;
   };
-  /// Bucket key: (comm_id, internal, src_comm).
-  using BucketKey = std::tuple<int, bool, Rank>;
+  /// Per-(comm_id, internal) message store: one FIFO per source rank,
+  /// flat-indexed by src_comm. The arrays are sized once (to the runtime's
+  /// rank count when hinted) and reused for the lifetime of the mailbox —
+  /// the exact-source hot path is a map lookup plus an O(1) index, and no
+  /// steady-state delivery allocates bucket structure.
+  using CommKey = std::pair<int, bool>;
+  using SourceBuckets = std::vector<std::deque<Arrived>>;
 
   void check_abort_locked() const;
   /// Locked helper: find-and-remove. Returns false when nothing matches.
   bool match_locked(int comm_id, Rank src, Tag tag, bool internal,
                     Message& out);
+  /// Bucket array for (comm_id, internal), grown to cover `src`.
+  SourceBuckets& bucket_for_locked(int comm_id, bool internal, Rank src);
 
   const std::atomic<bool>* abort_flag_;
   std::chrono::milliseconds timeout_;
+  std::size_t nranks_hint_ = 0;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::map<BucketKey, std::deque<Arrived>> buckets_;
+  std::map<CommKey, SourceBuckets> buckets_;
   std::uint64_t next_arrival_ = 0;
   std::size_t pending_ = 0;
   std::uint64_t version_ = 0;

@@ -120,7 +120,9 @@ class FabricNetwork final : public LinkNetwork {
 
   const core::Fabric& fabric_;
   std::map<std::pair<int, int>, std::vector<int>> route_cache_;
-  std::map<std::pair<int, int>, int> route_hops_;
+  /// Hop-count memo, filled by path_links() and lazily by the const
+  /// switch_hops() fallback for pairs queried before their first transfer.
+  mutable std::map<std::pair<int, int>, int> route_hops_;
 };
 
 class FatTreeNetwork final : public LinkNetwork {

@@ -7,11 +7,23 @@
 
 namespace hfast::mpisim {
 
+Mailbox::SourceBuckets& Mailbox::bucket_for_locked(int comm_id, bool internal,
+                                                   Rank src) {
+  SourceBuckets& v = buckets_[{comm_id, internal}];
+  const auto need = static_cast<std::size_t>(src) + 1;
+  if (v.size() < need) {
+    v.resize(std::max(need, nranks_hint_));
+  }
+  return v;
+}
+
 void Mailbox::deliver(Message m) {
   {
     std::lock_guard lock(mutex_);
-    const BucketKey key{m.comm_id, m.internal, m.src_comm};
-    buckets_[key].push_back({std::move(m), next_arrival_++});
+    HFAST_ASSERT_MSG(m.src_comm >= 0, "delivery without a source rank");
+    SourceBuckets& v = bucket_for_locked(m.comm_id, m.internal, m.src_comm);
+    v[static_cast<std::size_t>(m.src_comm)].push_back(
+        {std::move(m), next_arrival_++});
     ++pending_;
     ++version_;
   }
@@ -20,6 +32,10 @@ void Mailbox::deliver(Message m) {
 
 bool Mailbox::match_locked(int comm_id, Rank src, Tag tag, bool internal,
                            Message& out) {
+  const auto bit = buckets_.find(CommKey{comm_id, internal});
+  if (bit == buckets_.end()) return false;
+  SourceBuckets& srcs = bit->second;
+
   auto take = [&](std::deque<Arrived>& q,
                   std::deque<Arrived>::iterator it) {
     out = std::move(it->msg);
@@ -27,35 +43,29 @@ bool Mailbox::match_locked(int comm_id, Rank src, Tag tag, bool internal,
     --pending_;
     return true;
   };
+  auto find_tag = [&](std::deque<Arrived>& q) {
+    // FIFO within the channel; tag selection respects arrival order.
+    return std::find_if(q.begin(), q.end(), [&](const Arrived& a) {
+      return tag == kAnyTag || a.msg.tag == tag;
+    });
+  };
 
   if (src != kAnySource) {
-    const auto bit = buckets_.find(BucketKey{comm_id, internal, src});
-    if (bit == buckets_.end()) return false;
-    auto& q = bit->second;
-    // FIFO within the channel; tag selection respects arrival order.
-    const auto it =
-        std::find_if(q.begin(), q.end(), [&](const Arrived& a) {
-          return tag == kAnyTag || a.msg.tag == tag;
-        });
+    if (static_cast<std::size_t>(src) >= srcs.size()) return false;
+    auto& q = srcs[static_cast<std::size_t>(src)];
+    const auto it = find_tag(q);
     if (it == q.end()) return false;
     return take(q, it);
   }
 
   // Wildcard source: earliest-arrived matching message across this
-  // communicator's buckets.
+  // communicator's source buckets.
   std::deque<Arrived>* best_q = nullptr;
   std::deque<Arrived>::iterator best_it;
   std::uint64_t best_arrival = ~0ULL;
-  const BucketKey lo{comm_id, internal, kAnySource};  // kAnySource = -1 < ranks
-  for (auto bit = buckets_.lower_bound(lo);
-       bit != buckets_.end() && std::get<0>(bit->first) == comm_id &&
-       std::get<1>(bit->first) == internal;
-       ++bit) {
-    auto& q = bit->second;
-    const auto it =
-        std::find_if(q.begin(), q.end(), [&](const Arrived& a) {
-          return tag == kAnyTag || a.msg.tag == tag;
-        });
+  for (auto& q : srcs) {
+    if (q.empty()) continue;
+    const auto it = find_tag(q);
     if (it != q.end() && it->arrival < best_arrival) {
       best_arrival = it->arrival;
       best_q = &q;
@@ -75,6 +85,10 @@ bool Mailbox::try_match(int comm_id, Rank src, Tag tag, bool internal,
 bool Mailbox::peek(int comm_id, Rank src, Tag tag, bool internal,
                    Rank& src_out, std::uint64_t& bytes_out) const {
   std::lock_guard lock(mutex_);
+  const auto bit = buckets_.find(CommKey{comm_id, internal});
+  if (bit == buckets_.end()) return false;
+  const SourceBuckets& srcs = bit->second;
+
   const Arrived* best = nullptr;
   auto consider = [&](const std::deque<Arrived>& q) {
     const auto it =
@@ -86,15 +100,12 @@ bool Mailbox::peek(int comm_id, Rank src, Tag tag, bool internal,
     }
   };
   if (src != kAnySource) {
-    const auto bit = buckets_.find(BucketKey{comm_id, internal, src});
-    if (bit != buckets_.end()) consider(bit->second);
+    if (static_cast<std::size_t>(src) < srcs.size()) {
+      consider(srcs[static_cast<std::size_t>(src)]);
+    }
   } else {
-    const BucketKey lo{comm_id, internal, kAnySource};
-    for (auto bit = buckets_.lower_bound(lo);
-         bit != buckets_.end() && std::get<0>(bit->first) == comm_id &&
-         std::get<1>(bit->first) == internal;
-         ++bit) {
-      consider(bit->second);
+    for (const auto& q : srcs) {
+      if (!q.empty()) consider(q);
     }
   }
   if (best == nullptr) return false;
@@ -145,7 +156,26 @@ void Mailbox::wait_version_change(std::uint64_t seen) {
   }
 }
 
-void Mailbox::interrupt() { cv_.notify_all(); }
+void Mailbox::interrupt() {
+  // Notify under the mutex: a bare notify_all can fire in the window
+  // between a waiter's check_abort_locked() and its cv_.wait_until(), in
+  // which case the wakeup is lost and the waiter stalls until the watchdog
+  // expires. Holding the lock serializes against that window — the waiter
+  // either still holds the mutex (and will observe the abort flag on its
+  // next check) or is already parked in wait_until and receives the signal.
+  std::lock_guard lock(mutex_);
+  cv_.notify_all();
+}
+
+void Mailbox::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, srcs] : buckets_) {
+    for (auto& q : srcs) q.clear();
+  }
+  next_arrival_ = 0;
+  pending_ = 0;
+  version_ = 0;
+}
 
 std::size_t Mailbox::pending() const {
   std::lock_guard lock(mutex_);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <sstream>
 
 #include "hfast/mpisim/runtime.hpp"
 
@@ -248,8 +249,20 @@ Message RankContext::sendrecv(const Communicator& comm, Rank dst,
   record_message(dst_world, send_bytes, /*is_send=*/true);
   Message in = rt_.mailbox(rank_).match_blocking(comm.id(), src, tag,
                                                  /*internal=*/false);
+  // MPI truncation semantics: a matched message larger than the posted
+  // receive buffer is an error (MPI_ERR_TRUNCATE), not a silent clip.
+  if (in.bytes > recv_bytes) {
+    std::ostringstream os;
+    os << "mpisim: sendrecv truncation — matched message of " << in.bytes
+       << " bytes from comm rank " << in.src_comm << " exceeds the posted "
+       << recv_bytes << "-byte receive (comm=" << comm.id() << " tag=" << tag
+       << ")";
+    throw Error(os.str());
+  }
+  // Receive side of the combined call: attributed at message level with the
+  // matched (validated) size, like recv(); the single kSendrecv call record
+  // keeps the paper's call-mix accounting unchanged.
   record_message(in.src_world, in.bytes, /*is_send=*/false);
-  (void)recv_bytes;
   record_call(CallType::kSendrecv, dst, send_bytes, t.elapsed());
   return in;
 }

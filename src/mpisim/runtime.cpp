@@ -28,10 +28,16 @@ RunResult Runtime::run(const RankProgram& program,
 
   abort_.store(false);
   next_comm_id_.store(1);
-  mailboxes_.clear();
-  mailboxes_.reserve(static_cast<std::size_t>(cfg_.nranks));
-  for (int r = 0; r < cfg_.nranks; ++r) {
-    mailboxes_.push_back(std::make_unique<Mailbox>(&abort_, cfg_.watchdog));
+  if (mailboxes_.size() == static_cast<std::size_t>(cfg_.nranks)) {
+    // Reuse the bucket arrays (and their capacity) from the previous run.
+    for (auto& mb : mailboxes_) mb->reset();
+  } else {
+    mailboxes_.clear();
+    mailboxes_.reserve(static_cast<std::size_t>(cfg_.nranks));
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      mailboxes_.push_back(
+          std::make_unique<Mailbox>(&abort_, cfg_.watchdog, cfg_.nranks));
+    }
   }
 
   std::mutex error_mutex;
@@ -84,7 +90,7 @@ RunResult Runtime::run(const RankProgram& program,
                   leaks.str());
     }
   }
-  mailboxes_.clear();
+  // Mailboxes are kept for the next run (reset() reuses their buckets).
 
   return RunResult{wall};
 }

@@ -150,9 +150,15 @@ double FabricNetwork::transfer(int src, int dst, std::uint64_t bytes,
 }
 
 int FabricNetwork::switch_hops(int src, int dst) const {
-  const auto it = route_hops_.find({src, dst});
+  const auto key = std::pair{src, dst};
+  const auto it = route_hops_.find(key);
   if (it != route_hops_.end()) return it->second;
-  return fabric_.route(src, dst).switch_hops();
+  // Memoize the fallback too: replay asks for hops per message, and
+  // recomputing fabric_.route() on every pre-transfer query is O(route)
+  // each time for a value that never changes.
+  const int hops = fabric_.route(src, dst).switch_hops();
+  route_hops_.emplace(key, hops);
+  return hops;
 }
 
 // --- FatTreeNetwork -----------------------------------------------------------

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <map>
 #include <queue>
 
 #include "hfast/util/assert.hpp"
@@ -20,6 +18,28 @@ struct RankState {
   std::size_t pos = 0;
   double clock = 0.0;
   bool blocked = false;
+};
+
+/// Arrival-time FIFO backed by a flat vector with a consumed-prefix index:
+/// no per-node allocation (unlike std::deque), and an empty channel costs
+/// nothing but the struct itself. The consumed prefix is reclaimed whenever
+/// it outgrows the live tail, keeping memory proportional to in-flight
+/// messages.
+struct ChannelFifo {
+  std::vector<double> arrivals;
+  std::size_t head = 0;
+
+  bool empty() const noexcept { return head == arrivals.size(); }
+  void push(double t) { arrivals.push_back(t); }
+  double pop() {
+    const double t = arrivals[head++];
+    if (head > 64 && head * 2 > arrivals.size()) {
+      arrivals.erase(arrivals.begin(),
+                     arrivals.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+    return t;
+  }
 };
 
 struct QueueEntry {
@@ -49,13 +69,24 @@ ReplayResult replay(const trace::Trace& trace, Network& net,
   const int n = trace.nranks();
   std::vector<RankState> ranks(static_cast<std::size_t>(n));
   for (const CommEvent& e : trace.events()) {
+    if (e.kind != EventKind::kCollective) {
+      HFAST_EXPECTS_MSG(e.peer >= 0 && e.peer < n,
+                        "replay: point-to-point event peer out of range");
+    }
     ranks[static_cast<std::size_t>(e.rank)].ops.push_back(e);
   }
 
-  // FIFO per-channel arrival queue: (src, dst) -> tail arrival times.
-  std::map<std::pair<int, int>, std::deque<double>> channel;
-  // Ranks blocked on an empty channel, keyed by the channel they need.
-  std::map<std::pair<int, int>, std::vector<int>> waiting;
+  // FIFO per-channel arrival queues, flat-indexed receiver*n+sender so the
+  // hot send/recv paths are one array access instead of a map lookup. A
+  // channel's only possible waiter is its receiver, so `waiting` is a flat
+  // flag array over the same index.
+  const auto chan = [n](int receiver, int sender) -> std::size_t {
+    return static_cast<std::size_t>(receiver) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(sender);
+  };
+  std::vector<ChannelFifo> channel(static_cast<std::size_t>(n) *
+                                   static_cast<std::size_t>(n));
+  std::vector<char> waiting(channel.size(), 0);
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
   for (int r = 0; r < n; ++r) {
@@ -97,12 +128,12 @@ ReplayResult replay(const trace::Trace& trace, Network& net,
           ++result.messages;
           result.bytes += e.bytes;
         }
-        channel[{e.peer, e.rank}].push_back(arrival);
-        // Wake a rank blocked on this channel.
-        auto w = waiting.find({e.peer, e.rank});
-        if (w != waiting.end() && !w->second.empty()) {
-          const int woken = w->second.back();
-          w->second.pop_back();
+        const std::size_t c = chan(e.peer, e.rank);
+        channel[c].push(arrival);
+        // Wake the receiver if it is blocked on this channel.
+        if (waiting[c]) {
+          waiting[c] = 0;
+          const int woken = e.peer;
           ranks[static_cast<std::size_t>(woken)].blocked = false;
           pq.push({ranks[static_cast<std::size_t>(woken)].clock, woken});
         }
@@ -111,14 +142,13 @@ ReplayResult replay(const trace::Trace& trace, Network& net,
       }
       case EventKind::kRecv: {
         // Our channel key is (dst_of_send, src_of_send) = (this rank's view).
-        auto& q = channel[{e.rank, e.peer}];
+        ChannelFifo& q = channel[chan(e.rank, e.peer)];
         if (q.empty()) {
           rs.blocked = true;
-          waiting[{e.rank, e.peer}].push_back(r);
+          waiting[chan(e.rank, e.peer)] = 1;
           continue;  // re-queued on wake
         }
-        const double arrival = q.front();
-        q.pop_front();
+        const double arrival = q.pop();
         if (arrival > rs.clock) {
           result.total_recv_wait_s += arrival - rs.clock;
           rs.clock = arrival;

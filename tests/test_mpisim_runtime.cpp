@@ -201,6 +201,58 @@ TEST(Runtime, RankExceptionPropagatesAndUnwindsOthers) {
   }
 }
 
+TEST(Runtime, AbortUnblocksPeerPromptly) {
+  // Regression for the interrupt() lost-wakeup race: rank 0 throws while
+  // rank 1 is (or is about to be) parked in a blocking receive. The abort
+  // must unblock rank 1 well before the watchdog — with the race, the
+  // notify could land between rank 1's abort check and its wait, stalling
+  // the job for the full watchdog interval.
+  auto cfg = small_cfg(2);
+  cfg.watchdog = std::chrono::milliseconds(20000);
+  Runtime rt(cfg);
+  for (int round = 0; round < 20; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(rt.run([](RankContext& ctx) {
+                   if (ctx.rank() == 0) throw Error("rank 0 failed");
+                   (void)ctx.recv(0, 8, /*tag=*/1);  // never satisfied
+                 }),
+                 Error);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    // Bounded wait: promptly unblocked, not watchdog-expired.
+    EXPECT_LT(elapsed, std::chrono::milliseconds(5000));
+  }
+}
+
+TEST(Runtime, SendrecvOversizedMessageIsTruncationError) {
+  // MPI truncation semantics: a matched message larger than the posted
+  // receive is an error, not a silent clip.
+  Runtime rt(small_cfg(2));
+  try {
+    rt.run([](RankContext& ctx) {
+      const Rank peer = 1 - ctx.rank();
+      if (ctx.rank() == 0) {
+        // Sends 4096 but posts only a 64-byte receive for the 4096-byte
+        // reply coming back.
+        (void)ctx.sendrecv(peer, 4096, peer, 64, /*tag=*/0);
+      } else {
+        (void)ctx.sendrecv(peer, 4096, peer, 4096, /*tag=*/0);
+      }
+    });
+    FAIL() << "expected truncation error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncation"), std::string::npos);
+  }
+}
+
+TEST(Runtime, SendrecvExactFitIsNotTruncation) {
+  Runtime rt(small_cfg(2));
+  rt.run([](RankContext& ctx) {
+    const Rank peer = 1 - ctx.rank();
+    Message in = ctx.sendrecv(peer, 512, peer, 512, /*tag=*/3);
+    EXPECT_EQ(in.bytes, 512u);
+  });
+}
+
 TEST(Runtime, ReusableAcrossRuns) {
   Runtime rt(small_cfg(3));
   for (int round = 0; round < 3; ++round) {

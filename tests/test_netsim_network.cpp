@@ -82,6 +82,38 @@ TEST(FabricNetwork, SharedBlockIsSingleHop) {
   EXPECT_NEAR(t, 2e-6 + 10e-6 + 1e-6, 1e-9);
 }
 
+TEST(FabricNetwork, SwitchHopsAgreeBeforeAndAfterTransfer) {
+  // switch_hops() must answer identically whether the pair has been routed
+  // by a transfer yet or not (the pre-transfer path memoizes lazily).
+  graph::CommGraph g(4);
+  g.add_message(0, 1, 8192);
+  g.add_message(2, 3, 8192);
+  g.add_message(0, 3, 8192);
+  const auto prov = core::provision_greedy(g);
+  FabricNetwork net(prov.fabric, simple_link(), 10e-6);
+  const int n = net.num_endpoints();
+  std::vector<int> before;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s != d) before.push_back(net.switch_hops(s, d));
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s != d) (void)net.transfer(s, d, 1000, 0.0);
+    }
+  }
+  std::vector<int> after;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s != d) after.push_back(net.switch_hops(s, d));
+    }
+  }
+  EXPECT_EQ(before, after);
+  // Repeated queries hit the memo and stay stable.
+  EXPECT_EQ(net.switch_hops(0, 1), net.switch_hops(0, 1));
+}
+
 TEST(FatTreeNetwork, LatencyScalesWithTraversals) {
   const topo::FatTree tree(64, 8);  // subtrees 4, 16, capacity
   LinkParams link = simple_link();
