@@ -130,6 +130,42 @@ void BM_batch_sweep(benchmark::State& state) {
 BENCHMARK(BM_batch_sweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
 
+/// The engine face-off in the regime the fiber engine was built for: wide
+/// jobs (P=256), where the threaded engine pays 256 thread spawns plus
+/// kernel-arbitrated context switches per experiment and the fiber engine
+/// runs the whole job on one OS thread with user-space switches. Trace
+/// capture is off — these jobs exist for their reductions.
+std::vector<analysis::ExperimentConfig> engine_jobs(mpisim::EngineKind engine) {
+  auto configs =
+      analysis::sweep_configs({"cactus", "gtc"}, {256}, {1}, engine);
+  for (auto& c : configs) c.capture_trace = false;
+  return configs;
+}
+
+void BM_batch_sweep_engine(benchmark::State& state) {
+  const auto engine = state.range(0) == 0 ? mpisim::EngineKind::kThreads
+                                          : mpisim::EngineKind::kFibers;
+  if (engine == mpisim::EngineKind::kFibers && !mpisim::fibers_supported()) {
+    state.SkipWithError("fiber engine unavailable in this build");
+    return;
+  }
+  const auto configs = engine_jobs(engine);
+  const analysis::BatchRunner runner;
+  for (auto _ : state) {
+    auto r = runner.run(configs);
+    if (!r.ok()) {
+      state.SkipWithError("batch job failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(mpisim::engine_name(engine)));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_batch_sweep_engine)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
 void BM_replay_torus(benchmark::State& state) {
   const auto r = analysis::run_experiment("cactus", 64);
   const auto steady = r.trace.filter_region(apps::kSteadyRegion);
@@ -164,6 +200,24 @@ void write_batch_sweep_datapoint() {
     std::cerr << "BENCH_batch_sweep: sweep failed, no datapoint written\n";
     return;
   }
+  // Engine comparison at P=256: same jobs, same default budget, only the
+  // execution engine differs. Fibers may be unavailable (TSan builds) —
+  // report -1 there rather than dropping the datapoint.
+  const auto time_engine = [](mpisim::EngineKind engine) {
+    if (engine == mpisim::EngineKind::kFibers && !mpisim::fibers_supported()) {
+      return -1.0;
+    }
+    const auto jobs = engine_jobs(engine);
+    const analysis::BatchRunner runner;
+    const auto start = std::chrono::steady_clock::now();
+    const auto r = runner.run(jobs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return r.ok() ? wall : -1.0;
+  };
+  const double threads256 = time_engine(mpisim::EngineKind::kThreads);
+  const double fibers256 = time_engine(mpisim::EngineKind::kFibers);
   std::ofstream os("BENCH_batch_sweep.json");
   os << "{\n"
      << "  \"bench\": \"batch_sweep\",\n"
@@ -174,11 +228,19 @@ void write_batch_sweep_datapoint() {
      << analysis::BatchRunner({.thread_budget = 0}).thread_budget() << ",\n"
      << "  \"sequential_seconds\": " << seq << ",\n"
      << "  \"batched_seconds\": " << par << ",\n"
-     << "  \"speedup\": " << (par > 0.0 ? seq / par : 0.0) << "\n"
+     << "  \"speedup\": " << (par > 0.0 ? seq / par : 0.0) << ",\n"
+     << "  \"engine_p256\": {\n"
+     << "    \"threads_seconds\": " << threads256 << ",\n"
+     << "    \"fibers_seconds\": " << fibers256 << ",\n"
+     << "    \"fibers_speedup\": "
+     << (threads256 > 0.0 && fibers256 > 0.0 ? threads256 / fibers256 : 0.0)
+     << "\n"
+     << "  }\n"
      << "}\n";
   std::cout << "BENCH_batch_sweep.json: " << configs.size() << " jobs, "
             << seq << " s sequential, " << par << " s batched ("
-            << (par > 0.0 ? seq / par : 0.0) << "x)\n";
+            << (par > 0.0 ? seq / par : 0.0) << "x); P=256 engines: "
+            << threads256 << " s threads vs " << fibers256 << " s fibers\n";
 }
 
 }  // namespace

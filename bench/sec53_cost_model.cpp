@@ -10,6 +10,7 @@
 ///      avg/max TDC 6 -> one block per node, Nactive = P).
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "hfast/analysis/batch.hpp"
@@ -20,7 +21,15 @@
 
 using namespace hfast;
 
-int main() {
+int main(int argc, char** argv) {
+  // Usage: sec53_cost_model [--engine threads|fibers]
+  mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = mpisim::parse_engine(argv[++i]);
+    }
+  }
+
   // (1) Fat-tree growth, radix 8 (the paper's worked example).
   util::print_banner(std::cout,
                      "Fat-tree port scaling, 8-port switches (paper 5.3)");
@@ -62,6 +71,7 @@ int main() {
       analysis::ExperimentConfig cfg;
       cfg.app = app;
       cfg.nranks = p;
+      cfg.engine = engine;
       configs.push_back(cfg);
     }
   }

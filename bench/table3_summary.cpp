@@ -5,6 +5,7 @@
 /// the §5.2 case classification of every code.
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "hfast/analysis/batch.hpp"
@@ -41,13 +42,21 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Usage: table3_summary [--engine threads|fibers]
+  mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = mpisim::parse_engine(argv[++i]);
+    }
+  }
+
   // One parallel sweep produces every (app, P) experiment; configs come
   // back in input order, so app i owns results [2i] (P=64) and [2i+1]
   // (P=256).
   std::vector<std::string> names;
   for (const apps::App& a : apps::registry()) names.push_back(a.info.name);
-  const auto configs = analysis::sweep_configs(names, {64, 256});
+  const auto configs = analysis::sweep_configs(names, {64, 256}, {1}, engine);
   const auto batch = analysis::BatchRunner().run(configs);
   if (!batch.ok()) {
     for (const auto& e : batch.errors) {

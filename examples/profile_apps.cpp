@@ -3,10 +3,13 @@
 /// the per-app communication characteristics (the paper's §4 study in one
 /// command). The experiments run as one parallel batch.
 ///
-/// Usage: profile_apps [nranks] [--threads N]
+/// Usage: profile_apps [nranks] [--threads N] [--engine threads|fibers]
 ///   nranks       concurrency per application (default 64)
 ///   --threads N  live-thread budget for the batch engine
 ///                (default: 4x hardware concurrency)
+///   --engine E   execution engine per experiment (default threads);
+///                fibers runs each job single-threaded and deterministic —
+///                the practical choice for P=1024/4096
 
 #include <cstdlib>
 #include <cstring>
@@ -24,9 +27,12 @@ using namespace hfast;
 int main(int argc, char** argv) {
   int nranks = 64;
   analysis::BatchOptions opts;
+  mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       opts.thread_budget = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = mpisim::parse_engine(argv[++i]);
     } else {
       nranks = std::atoi(argv[i]);
     }
@@ -42,8 +48,13 @@ int main(int argc, char** argv) {
     names.push_back(app.info.name);
   }
 
+  auto configs = analysis::sweep_configs(names, {nranks}, {1}, engine);
+  // The tables below reduce profiles and graphs only; skipping trace
+  // capture keeps the wide-P sweeps (1024+) within memory.
+  for (auto& c : configs) c.capture_trace = false;
+
   const analysis::BatchRunner runner(opts);
-  const auto batch = runner.run(analysis::sweep_configs(names, {nranks}));
+  const auto batch = runner.run(configs);
   for (const auto& e : batch.errors) {
     std::cerr << "experiment failed: " << e.job << ": " << e.message << "\n";
   }
@@ -64,14 +75,17 @@ int main(int argc, char** argv) {
 
   util::print_banner(std::cout, "Summary (paper Table 3 columns)");
   analysis::render_table3(rows).print(std::cout);
-  std::cout << "batch: " << names.size() << " experiments in "
+  std::cout << "batch: " << names.size() << " experiments ("
+            << mpisim::engine_name(engine) << " engine) in "
             << batch.wall_seconds << " s under a "
             << runner.thread_budget() << "-thread budget\n";
+  if (!batch.ok()) return EXIT_FAILURE;
 
   // Full IPM-style banner for one representative code (gtc), run with
   // direct access to the per-rank profiles.
   if (apps::valid_concurrency(apps::find("gtc"), nranks)) {
-    mpisim::Runtime rt(mpisim::RuntimeConfig{.nranks = nranks});
+    mpisim::Runtime rt(
+        mpisim::RuntimeConfig{.nranks = nranks, .engine = engine});
     std::vector<std::unique_ptr<ipm::RankProfile>> profiles;
     for (int r = 0; r < nranks; ++r) {
       profiles.push_back(std::make_unique<ipm::RankProfile>(r));

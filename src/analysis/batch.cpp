@@ -94,15 +94,17 @@ std::string experiment_label(const ExperimentConfig& cfg) {
 
 }  // namespace
 
+int experiment_thread_weight(const ExperimentConfig& config) noexcept {
+  return config.engine == mpisim::EngineKind::kFibers ? 1 : config.nranks;
+}
+
 BatchRunner::BatchRunner(BatchOptions opts)
     : budget_(resolve_budget(opts.thread_budget)) {}
 
 BatchResult<ExperimentResult> BatchRunner::run(
     const std::vector<ExperimentConfig>& configs) const {
   return run_weighted<ExperimentResult, ExperimentConfig>(
-      configs, budget_,
-      [](const ExperimentConfig& c) { return c.nranks; },
-      &experiment_label,
+      configs, budget_, &experiment_thread_weight, &experiment_label,
       [](const ExperimentConfig& c) { return run_experiment(c); });
 }
 
@@ -123,7 +125,7 @@ BatchResult<netsim::ReplayResult> BatchRunner::run_replays(
 
 std::vector<ExperimentConfig> sweep_configs(
     const std::vector<std::string>& apps, const std::vector<int>& nranks,
-    const std::vector<std::uint64_t>& seeds) {
+    const std::vector<std::uint64_t>& seeds, mpisim::EngineKind engine) {
   std::vector<ExperimentConfig> configs;
   configs.reserve(apps.size() * nranks.size() * seeds.size());
   for (const std::string& app : apps) {
@@ -135,6 +137,7 @@ std::vector<ExperimentConfig> sweep_configs(
         cfg.app = app;
         cfg.nranks = p;
         cfg.seed = seed;
+        cfg.engine = engine;
         configs.push_back(std::move(cfg));
       }
     }

@@ -17,6 +17,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   mpisim::RuntimeConfig rt_cfg;
   rt_cfg.nranks = config.nranks;
   rt_cfg.seed = config.seed;
+  rt_cfg.engine = config.engine;
+  rt_cfg.sched_seed = config.sched_seed;
   mpisim::Runtime runtime(rt_cfg);
 
   std::vector<std::unique_ptr<ipm::RankProfile>> profiles;

@@ -3,10 +3,13 @@
 /// Parallel sweep engine for the paper's experiment matrix. Every artifact
 /// (Table 3, the §5.2 classification, the §5.3 cost model) is produced by
 /// sweeping run_experiment over app × P × seed; BatchRunner fans those jobs
-/// across cores under a *thread* budget — each experiment holds `nranks`
-/// live threads while it runs (the runtime spawns one per rank), so the
-/// scheduler admits jobs by weight, not by count. Replay jobs (one thread
-/// each) ride the same scheduler.
+/// across cores under a *thread* budget — a threaded-engine experiment holds
+/// `nranks` live threads while it runs (the runtime spawns one per rank),
+/// while a fiber-engine experiment holds exactly one, so the scheduler
+/// admits jobs by weight, not by count. That weight difference is what makes
+/// an apps × {64,256,1024,4096} sweep fan out across cores instead of being
+/// clamped by the widest job. Replay jobs (one thread each) ride the same
+/// scheduler.
 ///
 /// Guarantees:
 ///  * results come back in input order, independent of completion order;
@@ -64,11 +67,16 @@ struct ReplayJob {
   netsim::ReplayParams params;
 };
 
+/// Live OS threads one experiment occupies while running: `nranks` under
+/// the threaded engine, 1 under the fiber engine (all ranks share the
+/// dispatcher thread). This is the admission weight BatchRunner charges.
+int experiment_thread_weight(const ExperimentConfig& config) noexcept;
+
 class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions opts = {});
 
-  /// Run every experiment config; weight = config.nranks threads.
+  /// Run every experiment config; weight = experiment_thread_weight(config).
   BatchResult<ExperimentResult> run(
       const std::vector<ExperimentConfig>& configs) const;
 
@@ -83,9 +91,11 @@ class BatchRunner {
 };
 
 /// Cross product app × P × seed in input order, skipping (app, P)
-/// combinations the kernel's structure does not support.
+/// combinations the kernel's structure does not support. Every config runs
+/// on `engine` (fibers makes the wide end of a P sweep affordable).
 std::vector<ExperimentConfig> sweep_configs(
     const std::vector<std::string>& apps, const std::vector<int>& nranks,
-    const std::vector<std::uint64_t>& seeds = {1});
+    const std::vector<std::uint64_t>& seeds = {1},
+    mpisim::EngineKind engine = mpisim::EngineKind::kThreads);
 
 }  // namespace hfast::analysis

@@ -12,6 +12,7 @@
 #include "hfast/apps/app.hpp"
 #include "hfast/graph/comm_graph.hpp"
 #include "hfast/ipm/report.hpp"
+#include "hfast/mpisim/engine.hpp"
 #include "hfast/trace/trace.hpp"
 
 namespace hfast::analysis {
@@ -22,6 +23,12 @@ struct ExperimentConfig {
   int iterations = 0;       ///< 0 = app default
   std::uint64_t seed = 1;
   bool capture_trace = true;
+  /// Execution engine: one OS thread per rank (threads, default) or all
+  /// ranks as cooperative fibers on one thread (fibers — deterministic, and
+  /// the only practical route to P=1024/4096).
+  mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  /// Fiber scheduler seed; 0 derives it from `seed` (see RuntimeConfig).
+  std::uint64_t sched_seed = 0;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,121 @@
+#pragma once
+/// \file engine.hpp
+/// Pluggable execution engines: the policy layer that decides how the ranks
+/// of one job are mapped onto OS threads.
+///
+/// Two engines implement the same contract against unmodified RankPrograms:
+///  * the **threaded** engine (default) runs one preemptive OS thread per
+///    rank — maximum fidelity to a real MPI job, races and all;
+///  * the **fiber** engine multiplexes every rank of the job onto a single
+///    OS thread using ucontext stackful fibers with a seeded deterministic
+///    ready-queue policy, so a 4096-rank job costs one thread and an
+///    identical seed reproduces the event trace byte for byte (wildcard
+///    receives included).
+///
+/// Every blocking point in the simulator (mailbox matching, waitany's
+/// version wait, collective plumbing receives) routes through the engine's
+/// Scheduler instead of touching condition variables directly; that is the
+/// seam that lets a cooperative engine park a rank without parking the
+/// thread.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "hfast/mpisim/types.hpp"
+
+namespace hfast::mpisim {
+
+class Mailbox;
+class Runtime;
+
+enum class EngineKind : std::uint8_t {
+  kThreads,  ///< one preemptive OS thread per rank (default)
+  kFibers,   ///< all ranks cooperatively scheduled on one OS thread
+};
+
+/// "threads" / "fibers".
+std::string_view engine_name(EngineKind kind) noexcept;
+
+/// Inverse of engine_name; throws hfast::Error for unknown names.
+EngineKind parse_engine(std::string_view name);
+
+/// False when the fiber engine cannot run in this build: non-POSIX hosts
+/// (no ucontext) and ThreadSanitizer builds (swapcontext is opaque to TSan
+/// and produces false reports). make_engine throws in that case.
+bool fibers_supported() noexcept;
+
+/// What a rank is blocked on. Captured at every blocking wait so a
+/// cooperative engine can diagnose a deadlock with the stuck rank's actual
+/// receive pattern instead of a timer expiry.
+struct WaitDesc {
+  enum class Kind : std::uint8_t {
+    kRecv,     ///< blocking match (recv / wait / sendrecv / collective plumbing)
+    kWaitany,  ///< waitany parked on the mailbox version counter
+  };
+  Kind kind = Kind::kRecv;
+  int comm_id = 0;
+  Rank src = kAnySource;
+  Tag tag = kAnyTag;
+  bool internal = false;
+};
+
+/// The blocking interface of an engine. RankContext and Mailbox call this
+/// instead of owning their own condition-variable logic; the engine decides
+/// whether "wait" means parking an OS thread or switching fibers.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// True when every rank of the job runs on the calling OS thread — the
+  /// mailbox uses this to take its lock-free single-owner fast path.
+  virtual bool single_threaded() const noexcept = 0;
+
+  /// Park the calling rank until `mb`'s version differs from `seen` (a new
+  /// delivery arrived), the job aborts, or the engine diagnoses a deadlock.
+  /// May also return spuriously; callers loop around their match attempt.
+  virtual void wait_for_delivery(Mailbox& mb, std::uint64_t seen,
+                                 const WaitDesc& why) = 0;
+
+  /// Delivery-side hook (single-owner mode only): a message was just
+  /// enqueued into `mb`; wake its parked owner if any.
+  virtual void notify_delivery(Mailbox& mb) = 0;
+
+  /// Cooperative scheduling point for non-blocking polls (test/iprobe): a
+  /// fiber spinning on these must hand control back so peers can make the
+  /// poll succeed. No-op under preemptive scheduling.
+  virtual void yield() = 0;
+
+  /// The calling rank completed an observable MPI call; retained per rank
+  /// for deadlock diagnostics ("last completed call").
+  virtual void note_call(CallType call) = 0;
+};
+
+/// One engine instance drives one Runtime::run invocation.
+class ExecutionEngine {
+ public:
+  virtual ~ExecutionEngine() = default;
+
+  virtual EngineKind kind() const noexcept = 0;
+
+  /// The scheduler mailboxes are bound to for the duration of execute().
+  virtual Scheduler& scheduler() noexcept = 0;
+
+  /// Run `rank_body(r)` to completion for every rank 0..nranks-1 and return
+  /// the first rank failure (input order for fibers, completion order for
+  /// threads), or nullptr when every rank returned cleanly.
+  virtual std::exception_ptr execute(
+      const std::function<void(Rank)>& rank_body) = 0;
+};
+
+/// Factory dispatching on rt.config().engine; throws hfast::Error when the
+/// requested engine is unavailable in this build.
+std::unique_ptr<ExecutionEngine> make_engine(Runtime& rt);
+
+// Individual factories (tests construct engines directly).
+std::unique_ptr<ExecutionEngine> make_thread_engine(Runtime& rt);
+std::unique_ptr<ExecutionEngine> make_fiber_engine(Runtime& rt);
+
+}  // namespace hfast::mpisim

@@ -8,9 +8,15 @@
 /// earliest-arrived matching message across buckets, preserving fairness
 /// and determinism.
 ///
-/// Blocking operations carry a watchdog timeout so a mis-written
-/// application surfaces as a diagnosed deadlock instead of a hung test
-/// suite, and honor a global abort flag so one rank's failure unwinds the
+/// Blocking is routed through the execution engine's Scheduler (see
+/// engine.hpp): the threaded engine parks on this mailbox's condition
+/// variable with a watchdog so a mis-written application surfaces as a
+/// diagnosed deadlock instead of a hung test suite; the fiber engine
+/// switches fibers instead. When the engine guarantees single-threaded
+/// access (all ranks on one OS thread), every operation takes a lock-free
+/// single-owner fast path. A standalone mailbox (no scheduler bound — unit
+/// tests) blocks on its own condition variable exactly as before. All
+/// blocking honors a global abort flag so one rank's failure unwinds the
 /// whole job.
 
 #include <atomic>
@@ -19,10 +25,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "hfast/mpisim/engine.hpp"
 #include "hfast/mpisim/message.hpp"
 
 namespace hfast::mpisim {
@@ -47,7 +55,32 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Enqueue an arriving message (called from the sender's thread).
+  /// Bind the engine's scheduler for the duration of a run (nullptr
+  /// unbinds). `owner` is the world rank whose receives drain this mailbox;
+  /// a cooperative engine uses it to wake the one fiber that can be parked
+  /// here. Caches the scheduler's single-threaded guarantee, which enables
+  /// the lock-free fast path.
+  void bind_scheduler(Scheduler* sched, Rank owner) {
+    sched_ = sched;
+    owner_ = owner;
+    single_owner_ = sched != nullptr && sched->single_threaded();
+  }
+
+  Rank owner() const noexcept { return owner_; }
+
+  /// Pre-create the bucket arrays for a derived communicator, sized to its
+  /// member count (source indices are *comm* ranks, so a 16-rank subcomm
+  /// needs 16 buckets regardless of world size). Called by
+  /// Runtime::allocate_comm_id the moment an id is handed out, so
+  /// derived-communicator delivery never grows bucket structure on the hot
+  /// path.
+  void reserve_comm(int comm_id, std::size_t sources);
+
+  /// True when both bucket arrays for `comm_id` exist (tests).
+  bool has_comm_buckets(int comm_id) const;
+
+  /// Enqueue an arriving message (called from the sender's thread, or the
+  /// sender's fiber in single-owner mode).
   void deliver(Message m);
 
   /// Non-blocking match: removes and returns the earliest message
@@ -59,15 +92,22 @@ class Mailbox {
   bool peek(int comm_id, Rank src, Tag tag, bool internal, Rank& src_out,
             std::uint64_t& bytes_out) const;
 
-  /// Blocking match. Throws hfast::Error on abort or watchdog expiry.
+  /// Blocking match. Throws hfast::Error on abort or diagnosed deadlock.
   Message match_blocking(int comm_id, Rank src, Tag tag, bool internal);
 
   /// Monotone counter bumped on every delivery; waitany polls against it.
   std::uint64_t version() const;
 
   /// Block until version() != seen (i.e. something new arrived).
-  /// Throws hfast::Error on abort or watchdog expiry.
+  /// Throws hfast::Error on abort or diagnosed deadlock.
   void wait_version_change(std::uint64_t seen);
+
+  /// Engine primitive for preemptive waiting: park the calling OS thread on
+  /// this mailbox's condition variable until version() != seen, the abort
+  /// flag rises (throws), or the watchdog expires (throws a deadlock
+  /// diagnosis built from `why`). The threaded scheduler and standalone
+  /// mailboxes block through this; cooperative engines never call it.
+  void preemptive_wait(std::uint64_t seen, const WaitDesc& why);
 
   /// Wake all waiters (used when the abort flag is raised).
   void interrupt();
@@ -86,23 +126,57 @@ class Mailbox {
     std::uint64_t arrival = 0;
   };
   /// Per-(comm_id, internal) message store: one FIFO per source rank,
-  /// flat-indexed by src_comm. The arrays are sized once (to the runtime's
-  /// rank count when hinted) and reused for the lifetime of the mailbox —
-  /// the exact-source hot path is a map lookup plus an O(1) index, and no
-  /// steady-state delivery allocates bucket structure.
+  /// flat-indexed by src_comm. The pointer arrays are sized once (to the
+  /// runtime's rank count when hinted) and reused for the lifetime of the
+  /// mailbox — the exact-source hot path is a map lookup plus an O(1)
+  /// index, and no steady-state delivery allocates bucket structure. Queues
+  /// themselves are allocated on first use: a libstdc++ deque eagerly
+  /// allocates ~0.5 KB, and each rank only ever hears from a handful of
+  /// sources, so materializing P queues per communicator on P mailboxes
+  /// would cost O(P^2) memory (tens of GB at P=4096) for arrays of empty
+  /// deques. An unused slot costs one null pointer instead.
   using CommKey = std::pair<int, bool>;
-  using SourceBuckets = std::vector<std::deque<Arrived>>;
+  using SourceBuckets = std::vector<std::unique_ptr<std::deque<Arrived>>>;
+
+  /// Scoped lock that is elided on the single-owner fast path.
+  class [[nodiscard]] OptLock {
+   public:
+    explicit OptLock(std::mutex* m) : m_(m) {
+      if (m_ != nullptr) m_->lock();
+    }
+    ~OptLock() {
+      if (m_ != nullptr) m_->unlock();
+    }
+    OptLock(const OptLock&) = delete;
+    OptLock& operator=(const OptLock&) = delete;
+
+   private:
+    std::mutex* m_;
+  };
+
+  std::mutex* lock_target() const noexcept {
+    return single_owner_ ? nullptr : &mutex_;
+  }
 
   void check_abort_locked() const;
-  /// Locked helper: find-and-remove. Returns false when nothing matches.
+  /// Locked (or single-owner) helper: find-and-remove. Returns false when
+  /// nothing matches.
   bool match_locked(int comm_id, Rank src, Tag tag, bool internal,
                     Message& out);
-  /// Bucket array for (comm_id, internal), grown to cover `src`.
-  SourceBuckets& bucket_for_locked(int comm_id, bool internal, Rank src);
+  /// Queue for (comm_id, internal, src), created (and the bucket array
+  /// grown to cover `src`) on demand.
+  std::deque<Arrived>& bucket_for_locked(int comm_id, bool internal, Rank src);
+  /// Route a blocking wait to the bound scheduler (engine policy) or to the
+  /// built-in preemptive primitive (standalone mailbox).
+  void wait_for_delivery(std::uint64_t seen, const WaitDesc& why);
+  std::string watchdog_message_locked(const WaitDesc& why) const;
 
   const std::atomic<bool>* abort_flag_;
   std::chrono::milliseconds timeout_;
   std::size_t nranks_hint_ = 0;
+  Scheduler* sched_ = nullptr;
+  Rank owner_ = -1;
+  bool single_owner_ = false;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<CommKey, SourceBuckets> buckets_;

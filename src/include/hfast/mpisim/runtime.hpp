@@ -1,16 +1,20 @@
 #pragma once
 /// \file runtime.hpp
-/// The job launcher: spawns one thread per rank, wires mailboxes and
-/// observers, propagates the first rank failure to all others, and verifies
-/// at teardown that no unmatched messages were leaked.
+/// The job launcher: wires mailboxes and observers, hands the ranks to the
+/// configured execution engine (one OS thread per rank, or all ranks as
+/// cooperative fibers on one thread), propagates the first rank failure to
+/// all others, and verifies at teardown that no unmatched messages were
+/// leaked.
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "hfast/mpisim/engine.hpp"
 #include "hfast/mpisim/mailbox.hpp"
 #include "hfast/mpisim/rank_context.hpp"
 
@@ -22,10 +26,25 @@ struct RuntimeConfig {
   /// traffic (integrity tests); size-only otherwise for speed.
   bool capture_payload = false;
   /// Watchdog for blocking operations; expiry is reported as deadlock.
+  /// The fiber engine additionally diagnoses a deadlock the instant its
+  /// ready queue drains (no timer needed) and uses the watchdog only as a
+  /// progress bound on poll loops.
   std::chrono::milliseconds watchdog{60000};
   /// Fail the run if unmatched messages remain after all ranks return.
   bool check_leaks = true;
   std::uint64_t seed = 0x48464153ULL;  // "HFAS"
+  /// How ranks are mapped onto OS threads (see engine.hpp).
+  EngineKind engine = EngineKind::kThreads;
+  /// Seed of the fiber engine's deterministic ready-queue policy; 0 derives
+  /// it from `seed`. Distinct values perturb the cooperative interleaving
+  /// (and therefore wildcard-receive match order) without touching
+  /// application behaviour — reduced paper metrics are invariant across it.
+  std::uint64_t sched_seed = 0;
+  /// Per-fiber stack size (fiber engine only), rounded up to whole pages.
+  /// Each stack is mmap'd with a PROT_NONE guard page below it, so only
+  /// touched pages consume RSS and overflow faults instead of corrupting a
+  /// neighbour (see DESIGN.md "Execution engines").
+  std::size_t fiber_stack_bytes = 256 * 1024;
 };
 
 struct RunResult {
@@ -52,14 +71,24 @@ class Runtime {
   const RuntimeConfig& config() const noexcept { return cfg_; }
   int nranks() const noexcept { return cfg_.nranks; }
 
-  // --- used by RankContext --------------------------------------------------
+  // --- used by RankContext and the engines ---------------------------------
   Mailbox& mailbox(Rank r);
-  int allocate_comm_id() { return next_comm_id_.fetch_add(1); }
+  /// Hand out a derived-communicator id and pre-size its bucket arrays on
+  /// each *member's* mailbox (sized to the member count — sizing to world on
+  /// every mailbox would cost O(P^2) per split), so derived-comm delivery
+  /// never grows structure on the hot path. The empty-span overload only
+  /// hands out an id.
+  int allocate_comm_id(std::span<const Rank> member_world_ranks = {});
   std::atomic<bool>& abort_flag() noexcept { return abort_; }
+  /// The active engine's scheduler; nullptr outside run().
+  Scheduler* scheduler() noexcept {
+    return engine_ != nullptr ? &engine_->scheduler() : nullptr;
+  }
 
  private:
   RuntimeConfig cfg_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<ExecutionEngine> engine_;
   std::atomic<bool> abort_{false};
   std::atomic<int> next_comm_id_{1};  // 0 is the world communicator
 };

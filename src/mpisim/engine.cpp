@@ -1,0 +1,117 @@
+#include "hfast/mpisim/engine.hpp"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hfast/mpisim/mailbox.hpp"
+#include "hfast/mpisim/runtime.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::mpisim {
+
+std::string_view engine_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kThreads:
+      return "threads";
+    case EngineKind::kFibers:
+      return "fibers";
+  }
+  return "unknown";
+}
+
+EngineKind parse_engine(std::string_view name) {
+  if (name == "threads") return EngineKind::kThreads;
+  if (name == "fibers") return EngineKind::kFibers;
+  throw Error("mpisim: unknown engine '" + std::string(name) +
+              "' (expected 'threads' or 'fibers')");
+}
+
+namespace {
+
+/// One preemptive OS thread per rank. Blocking parks the thread on the
+/// mailbox condition variable; the OS scheduler provides progress, and the
+/// per-wait watchdog provides deadlock diagnosis.
+class ThreadEngine final : public ExecutionEngine, public Scheduler {
+ public:
+  explicit ThreadEngine(Runtime& rt) : rt_(rt) {}
+
+  EngineKind kind() const noexcept override { return EngineKind::kThreads; }
+  Scheduler& scheduler() noexcept override { return *this; }
+
+  // --- Scheduler -----------------------------------------------------------
+  bool single_threaded() const noexcept override { return false; }
+
+  void wait_for_delivery(Mailbox& mb, std::uint64_t seen,
+                         const WaitDesc& why) override {
+    mb.preemptive_wait(seen, why);
+  }
+
+  void notify_delivery(Mailbox&) override {
+    // Never reached: the mailbox only routes delivery wakeups through the
+    // scheduler on the single-owner fast path.
+  }
+
+  void yield() override {
+    // Preemption makes explicit scheduling points unnecessary.
+  }
+
+  void note_call(CallType) override {
+    // Cross-thread "last call" bookkeeping would need synchronization on the
+    // per-call hot path; the threaded watchdog diagnoses from the blocked
+    // receive pattern instead.
+  }
+
+  // --- ExecutionEngine -----------------------------------------------------
+  std::exception_ptr execute(
+      const std::function<void(Rank)>& rank_body) override {
+    const int nranks = rt_.nranks();
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          rank_body(r);
+        } catch (...) {
+          {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          rt_.abort_flag().store(true);
+          for (int i = 0; i < nranks; ++i) rt_.mailbox(i).interrupt();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    return first_error;
+  }
+
+ private:
+  Runtime& rt_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionEngine> make_thread_engine(Runtime& rt) {
+  return std::make_unique<ThreadEngine>(rt);
+}
+
+std::unique_ptr<ExecutionEngine> make_engine(Runtime& rt) {
+  switch (rt.config().engine) {
+    case EngineKind::kThreads:
+      return make_thread_engine(rt);
+    case EngineKind::kFibers:
+      if (!fibers_supported()) {
+        throw Error(
+            "mpisim: fiber engine unavailable in this build "
+            "(ThreadSanitizer or non-POSIX host); use engine=threads");
+      }
+      return make_fiber_engine(rt);
+  }
+  throw Error("mpisim: invalid engine kind");
+}
+
+}  // namespace hfast::mpisim

@@ -1,0 +1,385 @@
+/// \file engine_fibers.cpp
+/// The cooperative fiber engine: every rank of one job runs as a ucontext
+/// stackful fiber on a single OS thread. Blocking MPI calls switch fibers
+/// instead of parking threads, a seeded policy picks the next runnable rank
+/// (making wildcard-receive match order reproducible run-to-run), and the
+/// scheduler loop doubles as a deadlock detector — an empty ready queue with
+/// live fibers is diagnosed instantly, and a poll loop that yields without
+/// ever seeing a delivery trips a wall-clock progress check.
+
+#include "hfast/mpisim/engine.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HFAST_FIBERS_POSIX 1
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define HFAST_FIBERS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HFAST_FIBERS_TSAN 1
+#endif
+#endif
+
+#ifdef HFAST_FIBERS_POSIX
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+#endif
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "hfast/mpisim/mailbox.hpp"
+#include "hfast/mpisim/runtime.hpp"
+#include "hfast/util/assert.hpp"
+#include "hfast/util/random.hpp"
+
+namespace hfast::mpisim {
+
+bool fibers_supported() noexcept {
+#if defined(HFAST_FIBERS_POSIX) && !defined(HFAST_FIBERS_TSAN)
+  return true;
+#else
+  // ThreadSanitizer cannot follow swapcontext and reports false positives;
+  // non-POSIX hosts have no ucontext at all.
+  return false;
+#endif
+}
+
+#ifdef HFAST_FIBERS_POSIX
+
+namespace {
+
+class FiberEngine final : public ExecutionEngine, public Scheduler {
+ public:
+  explicit FiberEngine(Runtime& rt) : rt_(rt) {
+    // Scheduling stream: sched_seed when given, otherwise derived from the
+    // app seed through one splitmix step so the two streams never collide.
+    std::uint64_t s = rt_.config().sched_seed;
+    if (s == 0) {
+      std::uint64_t mix = rt_.config().seed ^ 0x5c4ed01e5eedULL;
+      s = util::splitmix64(mix);
+    }
+    rng_.reseed(s);
+  }
+
+  ~FiberEngine() override { release_stacks(); }
+
+  EngineKind kind() const noexcept override { return EngineKind::kFibers; }
+  Scheduler& scheduler() noexcept override { return *this; }
+
+  // --- Scheduler -----------------------------------------------------------
+  bool single_threaded() const noexcept override { return true; }
+
+  void wait_for_delivery(Mailbox& mb, std::uint64_t seen,
+                         const WaitDesc& why) override {
+    Fiber& f = fibers_[static_cast<std::size_t>(current_)];
+    while (mb.version() == seen) {
+      f.state = State::kBlocked;
+      f.wait_mb = &mb;
+      f.wait_why = why;
+      switch_to_scheduler(f);
+      f.wait_mb = nullptr;
+      check_abort();
+    }
+    check_abort();
+  }
+
+  void notify_delivery(Mailbox& mb) override {
+    ++progress_;
+    const Rank owner = mb.owner();
+    if (owner < 0) return;
+    Fiber& f = fibers_[static_cast<std::size_t>(owner)];
+    if (f.state == State::kBlocked && f.wait_mb == &mb) {
+      f.state = State::kReady;
+      ready_.push_back(owner);
+    }
+  }
+
+  void yield() override {
+    // Always switch back, even when no peer is ready: the scheduler loop is
+    // where livelock (a rank spinning on test/iprobe with nothing in
+    // flight) gets diagnosed, so a polling fiber must not monopolize the
+    // thread.
+    Fiber& f = fibers_[static_cast<std::size_t>(current_)];
+    f.state = State::kReady;
+    f.polling = true;
+    ready_.push_back(current_);
+    switch_to_scheduler(f);
+    f.polling = false;
+    check_abort();
+  }
+
+  void note_call(CallType call) override {
+    fibers_[static_cast<std::size_t>(current_)].last_call = call;
+  }
+
+  // --- ExecutionEngine -----------------------------------------------------
+  std::exception_ptr execute(
+      const std::function<void(Rank)>& rank_body) override {
+    const int nranks = rt_.nranks();
+    body_ = &rank_body;
+    first_error_ = nullptr;
+    progress_ = 0;
+
+    fibers_.clear();
+    fibers_.resize(static_cast<std::size_t>(nranks));
+    ready_.clear();
+    ready_.reserve(static_cast<std::size_t>(nranks));
+    for (Rank r = 0; r < nranks; ++r) {
+      prepare_fiber(r);
+      ready_.push_back(r);
+    }
+
+    int remaining = nranks;
+    std::uint64_t switches = 0;
+    std::uint64_t progress_at_deadline = progress_;
+    auto deadline = std::chrono::steady_clock::now() + rt_.config().watchdog;
+
+    while (remaining > 0) {
+      if (ready_.empty()) {
+        diagnose_deadlock(nranks);
+        continue;  // wake-all refilled the ready queue
+      }
+      const std::size_t pick =
+          ready_.size() == 1
+              ? 0
+              : static_cast<std::size_t>(
+                    rng_.uniform(static_cast<std::uint64_t>(ready_.size())));
+      const Rank r = ready_[pick];
+      ready_[pick] = ready_.back();
+      ready_.pop_back();
+      Fiber& f = fibers_[static_cast<std::size_t>(r)];
+      HFAST_ASSERT_MSG(f.state == State::kReady, "scheduling a parked fiber");
+      f.state = State::kRunning;
+      current_ = r;
+      swapcontext(&main_ctx_, &f.ctx);
+      current_ = -1;
+
+      if (f.state == State::kDone) {
+        --remaining;
+        ++progress_;
+        if (f.error) {
+          if (!first_error_) first_error_ = f.error;
+          raise_abort_and_wake();
+        }
+      }
+
+      if ((++switches & 1023u) == 0u) {
+        if (progress_ != progress_at_deadline) {
+          progress_at_deadline = progress_;
+          deadline = std::chrono::steady_clock::now() + rt_.config().watchdog;
+        } else if (!rt_.abort_flag().load(std::memory_order_relaxed) &&
+                   std::chrono::steady_clock::now() >= deadline) {
+          diagnose_livelock(r, nranks);
+        }
+      }
+    }
+
+    body_ = nullptr;
+    release_stacks();
+    return first_error_;
+  }
+
+ private:
+  enum class State : std::uint8_t { kReady, kRunning, kBlocked, kDone };
+
+  struct Fiber {
+    ucontext_t ctx{};
+    void* map_base = nullptr;
+    std::size_t map_bytes = 0;
+    State state = State::kReady;
+    Mailbox* wait_mb = nullptr;
+    WaitDesc wait_why{};
+    CallType last_call = CallType::kCount;  // kCount = no call completed yet
+    bool polling = false;
+    std::exception_ptr error;
+  };
+
+  static std::size_t page_size() {
+    const long p = sysconf(_SC_PAGESIZE);
+    return p > 0 ? static_cast<std::size_t>(p) : 4096;
+  }
+
+  void prepare_fiber(Rank r) {
+    Fiber& f = fibers_[static_cast<std::size_t>(r)];
+    const std::size_t page = page_size();
+    std::size_t usable = rt_.config().fiber_stack_bytes;
+    if (usable < 4 * page) usable = 4 * page;
+    usable = (usable + page - 1) / page * page;
+    f.map_bytes = usable + page;  // + one guard page below the stack
+    f.map_base = mmap(nullptr, f.map_bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (f.map_base == MAP_FAILED) {
+      f.map_base = nullptr;
+      throw Error("mpisim: fiber stack mmap failed");
+    }
+    // Stacks grow down: the lowest page faults on overflow instead of
+    // silently corrupting the neighbouring fiber's stack.
+    (void)mprotect(f.map_base, page, PROT_NONE);
+
+    if (getcontext(&f.ctx) != 0) {
+      throw Error("mpisim: getcontext failed for fiber stack setup");
+    }
+    f.ctx.uc_stack.ss_sp = static_cast<char*>(f.map_base) + page;
+    f.ctx.uc_stack.ss_size = usable;
+    f.ctx.uc_link = &main_ctx_;  // trampoline return resumes the scheduler
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    // makecontext's entry point is variadic over ints; the engine pointer
+    // travels as two 32-bit halves through the only portable channel it has.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wcast-function-type"
+    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&FiberEngine::trampoline),
+                2, static_cast<int>(static_cast<std::uint32_t>(self >> 32)),
+                static_cast<int>(static_cast<std::uint32_t>(self)));
+#pragma GCC diagnostic pop
+  }
+
+  static void trampoline(unsigned hi, unsigned lo) {
+    auto* self = reinterpret_cast<FiberEngine*>(
+        (static_cast<std::uintptr_t>(hi) << 32) |
+        static_cast<std::uintptr_t>(lo));
+    self->run_current();
+    // Returning resumes main_ctx_ via uc_link; exceptions never cross the
+    // context switch (run_current catches everything).
+  }
+
+  void run_current() {
+    Fiber& f = fibers_[static_cast<std::size_t>(current_)];
+    try {
+      (*body_)(current_);
+    } catch (...) {
+      f.error = std::current_exception();
+    }
+    f.state = State::kDone;
+  }
+
+  void switch_to_scheduler(Fiber& f) { swapcontext(&f.ctx, &main_ctx_); }
+
+  void check_abort() const {
+    if (rt_.abort_flag().load(std::memory_order_relaxed)) {
+      throw Error("mpisim: job aborted by another rank's failure");
+    }
+  }
+
+  /// Raise the global abort flag and move every blocked fiber back to the
+  /// ready queue; each resumes inside its wait, observes the flag, throws,
+  /// and unwinds its own stack (running destructors) before going Done.
+  void raise_abort_and_wake() {
+    rt_.abort_flag().store(true);
+    for (std::size_t i = 0; i < fibers_.size(); ++i) {
+      Fiber& f = fibers_[i];
+      if (f.state == State::kBlocked) {
+        f.state = State::kReady;
+        ready_.push_back(static_cast<Rank>(i));
+      }
+    }
+  }
+
+  std::string last_call_name(const Fiber& f) const {
+    return f.last_call == CallType::kCount
+               ? std::string("<none>")
+               : std::string(call_name(f.last_call));
+  }
+
+  /// Ready queue empty with live fibers: every remaining rank is parked in a
+  /// blocking wait that no peer can satisfy. No timer needed — this is a
+  /// deadlock by construction. Mirrors the threaded watchdog's diagnosis,
+  /// plus the stuck rank's id and last completed call.
+  void diagnose_deadlock(int nranks) {
+    int stuck = -1;
+    int blocked = 0;
+    for (std::size_t i = 0; i < fibers_.size(); ++i) {
+      if (fibers_[i].state == State::kBlocked) {
+        ++blocked;
+        if (stuck < 0) stuck = static_cast<int>(i);
+      }
+    }
+    HFAST_ASSERT_MSG(stuck >= 0, "empty ready queue with no blocked fibers");
+    if (!first_error_) {
+      const Fiber& f = fibers_[static_cast<std::size_t>(stuck)];
+      std::ostringstream os;
+      os << "mpisim: fiber scheduler detected deadlock — rank " << stuck;
+      if (f.wait_why.kind == WaitDesc::Kind::kWaitany) {
+        os << " blocked in waitany";
+      } else {
+        os << " blocked in receive (comm=" << f.wait_why.comm_id
+           << " src=" << f.wait_why.src << " tag=" << f.wait_why.tag
+           << " internal=" << f.wait_why.internal;
+        if (f.wait_mb != nullptr) {
+          os << ", " << f.wait_mb->pending() << " unmatched messages queued";
+        }
+        os << ")";
+      }
+      os << ", last completed call " << last_call_name(f) << "; " << blocked
+         << " of " << nranks
+         << " ranks blocked with none runnable — likely application deadlock";
+      first_error_ = std::make_exception_ptr(Error(os.str()));
+    }
+    raise_abort_and_wake();
+  }
+
+  /// The watchdog interval elapsed with scheduler switches but zero
+  /// deliveries or completions: some rank is spinning on test/iprobe for a
+  /// message that will never arrive.
+  void diagnose_livelock(Rank last_resumed, int nranks) {
+    Rank stuck = last_resumed;
+    for (std::size_t i = 0; i < fibers_.size(); ++i) {
+      if (fibers_[i].state == State::kReady && fibers_[i].polling) {
+        stuck = static_cast<Rank>(i);
+        break;
+      }
+    }
+    if (!first_error_) {
+      const Fiber& f = fibers_[static_cast<std::size_t>(stuck)];
+      std::ostringstream os;
+      os << "mpisim: fiber scheduler watchdog expired — no delivery progress "
+            "for "
+         << rt_.config().watchdog.count() << " ms; rank " << stuck
+         << " still polling, last completed call " << last_call_name(f)
+         << " (" << nranks
+         << "-rank job) — likely application deadlock";
+      first_error_ = std::make_exception_ptr(Error(os.str()));
+    }
+    raise_abort_and_wake();
+  }
+
+  void release_stacks() {
+    for (Fiber& f : fibers_) {
+      if (f.map_base != nullptr) {
+        (void)munmap(f.map_base, f.map_bytes);
+        f.map_base = nullptr;
+        f.map_bytes = 0;
+      }
+    }
+  }
+
+  Runtime& rt_;
+  util::Rng rng_;
+  const std::function<void(Rank)>* body_ = nullptr;
+  std::vector<Fiber> fibers_;
+  std::vector<Rank> ready_;
+  ucontext_t main_ctx_{};
+  Rank current_ = -1;
+  std::uint64_t progress_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionEngine> make_fiber_engine(Runtime& rt) {
+  return std::make_unique<FiberEngine>(rt);
+}
+
+#else  // !HFAST_FIBERS_POSIX
+
+std::unique_ptr<ExecutionEngine> make_fiber_engine(Runtime&) {
+  throw Error("mpisim: fiber engine requires a POSIX host (ucontext)");
+}
+
+#endif
+
+}  // namespace hfast::mpisim

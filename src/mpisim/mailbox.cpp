@@ -7,23 +7,52 @@
 
 namespace hfast::mpisim {
 
-Mailbox::SourceBuckets& Mailbox::bucket_for_locked(int comm_id, bool internal,
-                                                   Rank src) {
+std::deque<Mailbox::Arrived>& Mailbox::bucket_for_locked(int comm_id,
+                                                         bool internal,
+                                                         Rank src) {
   SourceBuckets& v = buckets_[{comm_id, internal}];
   const auto need = static_cast<std::size_t>(src) + 1;
   if (v.size() < need) {
     v.resize(std::max(need, nranks_hint_));
   }
-  return v;
+  auto& slot = v[static_cast<std::size_t>(src)];
+  if (slot == nullptr) slot = std::make_unique<std::deque<Arrived>>();
+  return *slot;
+}
+
+void Mailbox::reserve_comm(int comm_id, std::size_t sources) {
+  OptLock lock(lock_target());
+  // resize() only ever grows: shrinking would drop queued messages.
+  for (const bool internal : {false, true}) {
+    SourceBuckets& v = buckets_[{comm_id, internal}];
+    if (v.size() < sources) v.resize(sources);
+  }
+}
+
+bool Mailbox::has_comm_buckets(int comm_id) const {
+  OptLock lock(lock_target());
+  return buckets_.count(CommKey{comm_id, false}) != 0 &&
+         buckets_.count(CommKey{comm_id, true}) != 0;
 }
 
 void Mailbox::deliver(Message m) {
+  if (single_owner_) {
+    // Single-owner fast path: every rank of the job shares this OS thread,
+    // so the enqueue is plain sequential code and the wakeup is a direct
+    // scheduler call instead of a condition-variable broadcast.
+    HFAST_ASSERT_MSG(m.src_comm >= 0, "delivery without a source rank");
+    auto& q = bucket_for_locked(m.comm_id, m.internal, m.src_comm);
+    q.push_back({std::move(m), next_arrival_++});
+    ++pending_;
+    ++version_;
+    sched_->notify_delivery(*this);
+    return;
+  }
   {
     std::lock_guard lock(mutex_);
     HFAST_ASSERT_MSG(m.src_comm >= 0, "delivery without a source rank");
-    SourceBuckets& v = bucket_for_locked(m.comm_id, m.internal, m.src_comm);
-    v[static_cast<std::size_t>(m.src_comm)].push_back(
-        {std::move(m), next_arrival_++});
+    auto& q = bucket_for_locked(m.comm_id, m.internal, m.src_comm);
+    q.push_back({std::move(m), next_arrival_++});
     ++pending_;
     ++version_;
   }
@@ -52,7 +81,9 @@ bool Mailbox::match_locked(int comm_id, Rank src, Tag tag, bool internal,
 
   if (src != kAnySource) {
     if (static_cast<std::size_t>(src) >= srcs.size()) return false;
-    auto& q = srcs[static_cast<std::size_t>(src)];
+    const auto& slot = srcs[static_cast<std::size_t>(src)];
+    if (slot == nullptr) return false;
+    std::deque<Arrived>& q = *slot;
     const auto it = find_tag(q);
     if (it == q.end()) return false;
     return take(q, it);
@@ -63,8 +94,9 @@ bool Mailbox::match_locked(int comm_id, Rank src, Tag tag, bool internal,
   std::deque<Arrived>* best_q = nullptr;
   std::deque<Arrived>::iterator best_it;
   std::uint64_t best_arrival = ~0ULL;
-  for (auto& q : srcs) {
-    if (q.empty()) continue;
+  for (auto& slot : srcs) {
+    if (slot == nullptr || slot->empty()) continue;
+    std::deque<Arrived>& q = *slot;
     const auto it = find_tag(q);
     if (it != q.end() && it->arrival < best_arrival) {
       best_arrival = it->arrival;
@@ -78,13 +110,13 @@ bool Mailbox::match_locked(int comm_id, Rank src, Tag tag, bool internal,
 
 bool Mailbox::try_match(int comm_id, Rank src, Tag tag, bool internal,
                         Message& out) {
-  std::lock_guard lock(mutex_);
+  OptLock lock(lock_target());
   return match_locked(comm_id, src, tag, internal, out);
 }
 
 bool Mailbox::peek(int comm_id, Rank src, Tag tag, bool internal,
                    Rank& src_out, std::uint64_t& bytes_out) const {
-  std::lock_guard lock(mutex_);
+  OptLock lock(lock_target());
   const auto bit = buckets_.find(CommKey{comm_id, internal});
   if (bit == buckets_.end()) return false;
   const SourceBuckets& srcs = bit->second;
@@ -100,12 +132,13 @@ bool Mailbox::peek(int comm_id, Rank src, Tag tag, bool internal,
     }
   };
   if (src != kAnySource) {
-    if (static_cast<std::size_t>(src) < srcs.size()) {
-      consider(srcs[static_cast<std::size_t>(src)]);
+    if (static_cast<std::size_t>(src) < srcs.size() &&
+        srcs[static_cast<std::size_t>(src)] != nullptr) {
+      consider(*srcs[static_cast<std::size_t>(src)]);
     }
   } else {
-    for (const auto& q : srcs) {
-      if (!q.empty()) consider(q);
+    for (const auto& slot : srcs) {
+      if (slot != nullptr && !slot->empty()) consider(*slot);
     }
   }
   if (best == nullptr) return false;
@@ -120,39 +153,68 @@ void Mailbox::check_abort_locked() const {
   }
 }
 
-Message Mailbox::match_blocking(int comm_id, Rank src, Tag tag, bool internal) {
-  std::unique_lock lock(mutex_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout_;
-  for (;;) {
-    check_abort_locked();
-    Message out;
-    if (match_locked(comm_id, src, tag, internal, out)) return out;
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      check_abort_locked();
-      std::ostringstream os;
-      os << "mpisim: receive watchdog expired (comm=" << comm_id
-         << " src=" << src << " tag=" << tag << " internal=" << internal
-         << ", " << pending_ << " unmatched messages queued)"
-         << " — likely application deadlock";
-      throw Error(os.str());
-    }
+std::string Mailbox::watchdog_message_locked(const WaitDesc& why) const {
+  if (why.kind == WaitDesc::Kind::kWaitany) {
+    return "mpisim: waitany watchdog expired — likely deadlock";
+  }
+  std::ostringstream os;
+  os << "mpisim: receive watchdog expired (comm=" << why.comm_id
+     << " src=" << why.src << " tag=" << why.tag
+     << " internal=" << why.internal << ", " << pending_
+     << " unmatched messages queued)"
+     << " — likely application deadlock";
+  return os.str();
+}
+
+void Mailbox::wait_for_delivery(std::uint64_t seen, const WaitDesc& why) {
+  if (sched_ != nullptr) {
+    sched_->wait_for_delivery(*this, seen, why);
+  } else {
+    preemptive_wait(seen, why);
   }
 }
 
-std::uint64_t Mailbox::version() const {
-  std::lock_guard lock(mutex_);
-  return version_;
-}
-
-void Mailbox::wait_version_change(std::uint64_t seen) {
+void Mailbox::preemptive_wait(std::uint64_t seen, const WaitDesc& why) {
   std::unique_lock lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   while (version_ == seen) {
     check_abort_locked();
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       check_abort_locked();
-      throw Error("mpisim: waitany watchdog expired — likely deadlock");
+      throw Error(watchdog_message_locked(why));
     }
+  }
+}
+
+Message Mailbox::match_blocking(int comm_id, Rank src, Tag tag, bool internal) {
+  const WaitDesc why{WaitDesc::Kind::kRecv, comm_id, src, tag, internal};
+  for (;;) {
+    std::uint64_t seen;
+    {
+      OptLock lock(lock_target());
+      check_abort_locked();
+      Message out;
+      if (match_locked(comm_id, src, tag, internal, out)) return out;
+      seen = version_;
+    }
+    wait_for_delivery(seen, why);
+  }
+}
+
+std::uint64_t Mailbox::version() const {
+  OptLock lock(lock_target());
+  return version_;
+}
+
+void Mailbox::wait_version_change(std::uint64_t seen) {
+  const WaitDesc why{WaitDesc::Kind::kWaitany, 0, kAnySource, kAnyTag, false};
+  for (;;) {
+    {
+      OptLock lock(lock_target());
+      check_abort_locked();
+      if (version_ != seen) return;
+    }
+    wait_for_delivery(seen, why);
   }
 }
 
@@ -168,9 +230,11 @@ void Mailbox::interrupt() {
 }
 
 void Mailbox::reset() {
-  std::lock_guard lock(mutex_);
+  OptLock lock(lock_target());
   for (auto& [key, srcs] : buckets_) {
-    for (auto& q : srcs) q.clear();
+    for (auto& slot : srcs) {
+      if (slot != nullptr) slot->clear();
+    }
   }
   next_arrival_ = 0;
   pending_ = 0;
@@ -178,7 +242,7 @@ void Mailbox::reset() {
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard lock(mutex_);
+  OptLock lock(lock_target());
   return pending_;
 }
 

@@ -69,6 +69,7 @@ int RankContext::nranks() const noexcept { return rt_.nranks(); }
 void RankContext::record_call(CallType call, Rank peer, std::uint64_t bytes,
                               double seconds) {
   if (observer_ != nullptr) observer_->on_call(call, peer, bytes, seconds);
+  if (Scheduler* s = rt_.scheduler()) s->note_call(call);
 }
 
 void RankContext::record_message(Rank peer_world, std::uint64_t bytes,
@@ -285,6 +286,9 @@ bool RankContext::test(Request& req) {
     complete = true;
   }
   record_call(CallType::kTest, kNoPeer, 0, t.elapsed());
+  // Scheduling point: a rank polling test() in a loop must let peers run so
+  // the awaited message can actually be delivered (cooperative engines).
+  if (Scheduler* s = rt_.scheduler()) s->yield();
   return complete;
 }
 
@@ -300,6 +304,7 @@ bool RankContext::iprobe(const Communicator& comm, Rank src, Tag tag,
     if (bytes_out != nullptr) *bytes_out = b;
   }
   record_call(CallType::kIprobe, src, 0, t.elapsed());
+  if (Scheduler* s = rt_.scheduler()) s->yield();
   return found;
 }
 
@@ -581,7 +586,12 @@ Communicator RankContext::split(const Communicator& comm, int color, int key) {
       std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
         return std::tie(a.key, a.world) < std::tie(b.key, b.world);
       });
-      const int new_id = rt_.allocate_comm_id();
+      std::vector<Rank> world_members;
+      world_members.reserve(group.size());
+      for (const auto& e : group) {
+        world_members.push_back(static_cast<Rank>(e.world));
+      }
+      const int new_id = rt_.allocate_comm_id(world_members);
       std::vector<std::int64_t> reply;
       reply.push_back(new_id);
       for (const auto& e : group) reply.push_back(e.world);

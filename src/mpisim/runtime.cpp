@@ -2,9 +2,7 @@
 
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <sstream>
-#include <thread>
 
 #include "hfast/util/assert.hpp"
 
@@ -22,9 +20,23 @@ Mailbox& Runtime::mailbox(Rank r) {
   return *mailboxes_[static_cast<std::size_t>(r)];
 }
 
+int Runtime::allocate_comm_id(std::span<const Rank> member_world_ranks) {
+  const int id = next_comm_id_.fetch_add(1);
+  // Pre-size the members' buckets for the new communicator right here, off
+  // the delivery hot path. Only comm rank 0 of a split executes this, so
+  // under the threaded engine it can race with concurrent deliveries — which
+  // is exactly why reserve_comm locks (or runs single-owner lock-free under
+  // the fiber engine).
+  for (const Rank r : member_world_ranks) {
+    mailbox(r).reserve_comm(id, member_world_ranks.size());
+  }
+  return id;
+}
+
 RunResult Runtime::run(const RankProgram& program,
                        const ObserverFactory& observers) {
   HFAST_EXPECTS_MSG(program != nullptr, "run() requires a program");
+  HFAST_EXPECTS_MSG(engine_ == nullptr, "run() is not reentrant");
 
   abort_.store(false);
   next_comm_id_.store(1);
@@ -40,34 +52,25 @@ RunResult Runtime::run(const RankProgram& program,
     }
   }
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  engine_ = make_engine(*this);
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    mailboxes_[static_cast<std::size_t>(r)]->bind_scheduler(
+        &engine_->scheduler(), r);
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(cfg_.nranks));
-    for (int r = 0; r < cfg_.nranks; ++r) {
-      threads.emplace_back([&, r] {
+  const std::exception_ptr first_error =
+      engine_->execute([&](Rank r) {
         CommObserver* obs = observers ? observers(r) : nullptr;
         RankContext ctx(*this, r, obs);
-        try {
-          program(ctx);
-        } catch (...) {
-          {
-            std::lock_guard lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-          }
-          abort_.store(true);
-          for (auto& mb : mailboxes_) mb->interrupt();
-        }
+        program(ctx);
       });
-    }
-    for (auto& t : threads) t.join();
-  }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  for (auto& mb : mailboxes_) mb->bind_scheduler(nullptr, -1);
+  engine_.reset();
 
   if (first_error) {
     mailboxes_.clear();

@@ -128,5 +128,28 @@ TEST_F(MailboxTest, WaitVersionChangeReturnsAfterDelivery) {
   EXPECT_TRUE(mb_.try_match(0, 2, 0, false, out));
 }
 
+TEST_F(MailboxTest, ReserveCommPrecreatesBuckets) {
+  EXPECT_FALSE(mb_.has_comm_buckets(3));
+  mb_.reserve_comm(3, 4);
+  EXPECT_TRUE(mb_.has_comm_buckets(3));
+  EXPECT_FALSE(mb_.has_comm_buckets(5));
+
+  // Delivery and matching work in the reserved communicator, including a
+  // source index beyond the reserved count (the array grows on demand).
+  mb_.deliver(make_msg(2, 1, 64, /*comm=*/3));
+  mb_.deliver(make_msg(7, 1, 32, /*comm=*/3));
+  Message out;
+  EXPECT_TRUE(mb_.try_match(3, 2, 1, false, out));
+  EXPECT_EQ(out.bytes, 64u);
+  EXPECT_TRUE(mb_.try_match(3, 7, 1, false, out));
+  EXPECT_EQ(out.bytes, 32u);
+
+  // Reserving again (or smaller) never shrinks or drops queued state.
+  mb_.deliver(make_msg(1, 0, 8, /*comm=*/3));
+  mb_.reserve_comm(3, 2);
+  EXPECT_EQ(mb_.pending(), 1u);
+  EXPECT_TRUE(mb_.try_match(3, 1, 0, false, out));
+}
+
 }  // namespace
 }  // namespace hfast::mpisim

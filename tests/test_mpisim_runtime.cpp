@@ -297,5 +297,33 @@ TEST(Runtime, SendToInvalidRankIsContractViolation) {
                ContractViolation);
 }
 
+TEST(Runtime, SplitPresizesDerivedCommBucketsOnMembers) {
+  Runtime rt(small_cfg(6));
+  rt.run([](RankContext& ctx) {
+    const auto sub = ctx.split(ctx.world(), ctx.rank() % 2, ctx.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // A quick exchange over the derived communicator proves the pre-sized
+    // buckets actually carry traffic.
+    if (sub.rank() == 0) {
+      ctx.send(sub, 1, 64, /*tag=*/1);
+    } else if (sub.rank() == 1) {
+      (void)ctx.recv(sub, 0, 64, /*tag=*/1);
+    }
+    ctx.barrier();
+  });
+  // Split created comm ids 1 and 2, one per color (which color drew which
+  // id depends on scheduling — the two group leaders race on the id
+  // counter). allocate_comm_id pre-created the bucket arrays on every
+  // member's mailbox at id-allocation time — and only on members.
+  const int even_comm = rt.mailbox(0).has_comm_buckets(1) ? 1 : 2;
+  const int odd_comm = 3 - even_comm;
+  for (int r = 0; r < 6; ++r) {
+    const int my_comm = (r % 2 == 0) ? even_comm : odd_comm;
+    const int other_comm = 3 - my_comm;
+    EXPECT_TRUE(rt.mailbox(r).has_comm_buckets(my_comm)) << "rank " << r;
+    EXPECT_FALSE(rt.mailbox(r).has_comm_buckets(other_comm)) << "rank " << r;
+  }
+}
+
 }  // namespace
 }  // namespace hfast::mpisim
