@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <thread>
@@ -16,7 +17,9 @@
 #include "hfast/graph/tdc.hpp"
 #include "hfast/mpisim/runtime.hpp"
 #include "hfast/netsim/replay.hpp"
+#include "hfast/store/store.hpp"
 #include "hfast/topo/mesh.hpp"
+#include "hfast/util/json.hpp"
 
 using namespace hfast;
 
@@ -218,29 +221,75 @@ void write_batch_sweep_datapoint() {
   };
   const double threads256 = time_engine(mpisim::EngineKind::kThreads);
   const double fibers256 = time_engine(mpisim::EngineKind::kFibers);
-  std::ofstream os("BENCH_batch_sweep.json");
-  os << "{\n"
-     << "  \"bench\": \"batch_sweep\",\n"
-     << "  \"jobs\": " << configs.size() << ",\n"
-     << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-     << ",\n"
-     << "  \"thread_budget\": "
-     << analysis::BatchRunner({.thread_budget = 0}).thread_budget() << ",\n"
-     << "  \"sequential_seconds\": " << seq << ",\n"
-     << "  \"batched_seconds\": " << par << ",\n"
-     << "  \"speedup\": " << (par > 0.0 ? seq / par : 0.0) << ",\n"
-     << "  \"engine_p256\": {\n"
-     << "    \"threads_seconds\": " << threads256 << ",\n"
-     << "    \"fibers_seconds\": " << fibers256 << ",\n"
-     << "    \"fibers_speedup\": "
-     << (threads256 > 0.0 && fibers256 > 0.0 ? threads256 / fibers256 : 0.0)
-     << "\n"
-     << "  }\n"
-     << "}\n";
+
+  // Cold-vs-warm store datapoint: the same P=256 sweep against an empty
+  // result store (every job computes and persists) and again against the
+  // populated one (every job is a cache hit — the resumable-sweep payoff).
+  // -1 seconds means the pass could not run.
+  const auto store_dir =
+      std::filesystem::temp_directory_path() / "hfast_bench_store_p256";
+  double cold = -1.0, warm = -1.0;
+  std::uint64_t warm_hits = 0;
+  {
+    const auto jobs = engine_jobs(mpisim::fibers_supported()
+                                      ? mpisim::EngineKind::kFibers
+                                      : mpisim::EngineKind::kThreads);
+    try {
+      store::ResultStore cache(store_dir);
+      cache.evict_all();
+      const analysis::BatchRunner runner({.result_store = &cache});
+      const auto time_pass = [&]() {
+        const auto start = std::chrono::steady_clock::now();
+        const auto r = runner.run(jobs);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        warm_hits = r.cache.hits;
+        return r.ok() ? wall : -1.0;
+      };
+      cold = time_pass();
+      warm_hits = 0;
+      warm = time_pass();
+    } catch (const std::exception& e) {
+      std::cerr << "BENCH store datapoint skipped: " << e.what() << "\n";
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir, ec);
+  }
+
+  std::ofstream ofs("BENCH_batch_sweep.json");
+  util::JsonWriter json(ofs);
+  json.begin_object();
+  json.field("bench", "batch_sweep");
+  json.field("jobs", static_cast<std::uint64_t>(configs.size()));
+  json.field("hardware_concurrency", std::thread::hardware_concurrency());
+  json.field("thread_budget",
+             analysis::BatchRunner({.thread_budget = 0}).thread_budget());
+  json.field("sequential_seconds", seq);
+  json.field("batched_seconds", par);
+  json.field("speedup", par > 0.0 ? seq / par : 0.0);
+  json.key("engine_p256");
+  json.begin_object();
+  json.field("threads_seconds", threads256);
+  json.field("fibers_seconds", fibers256);
+  json.field("fibers_speedup",
+             threads256 > 0.0 && fibers256 > 0.0 ? threads256 / fibers256 : 0.0);
+  json.end_object();
+  json.key("store_p256");
+  json.begin_object();
+  json.field("cold_seconds", cold);
+  json.field("warm_seconds", warm);
+  json.field("warm_hits", warm_hits);
+  json.field("warm_speedup", cold > 0.0 && warm > 0.0 ? cold / warm : 0.0);
+  json.end_object();
+  json.end_object();
+  json.finish();
   std::cout << "BENCH_batch_sweep.json: " << configs.size() << " jobs, "
             << seq << " s sequential, " << par << " s batched ("
             << (par > 0.0 ? seq / par : 0.0) << "x); P=256 engines: "
-            << threads256 << " s threads vs " << fibers256 << " s fibers\n";
+            << threads256 << " s threads vs " << fibers256
+            << " s fibers; store: " << cold << " s cold vs " << warm
+            << " s warm (" << warm_hits << " hits)\n";
 }
 
 }  // namespace

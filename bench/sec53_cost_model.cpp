@@ -16,6 +16,7 @@
 #include "hfast/analysis/batch.hpp"
 #include "hfast/core/cost_model.hpp"
 #include "hfast/core/provision.hpp"
+#include "hfast/store/cli.hpp"
 #include "hfast/topo/fat_tree.hpp"
 #include "hfast/util/table.hpp"
 
@@ -23,12 +24,16 @@ using namespace hfast;
 
 int main(int argc, char** argv) {
   // Usage: sec53_cost_model [--engine threads|fibers]
+  //                         [--cache-dir DIR] [--no-cache] [--cache-verify]
   mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  store::CacheCli cache;
   for (int i = 1; i < argc; ++i) {
+    if (cache.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine = mpisim::parse_engine(argv[++i]);
     }
   }
+  const auto cache_store = cache.open(std::cerr);
 
   // (1) Fat-tree growth, radix 8 (the paper's worked example).
   util::print_banner(std::cout,
@@ -75,7 +80,8 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  const auto batch = analysis::BatchRunner().run(configs);
+  const auto batch =
+      analysis::BatchRunner({.result_store = cache_store.get()}).run(configs);
   if (!batch.ok()) {
     for (const auto& e : batch.errors) {
       std::cerr << "experiment failed: " << e.job << ": " << e.message << "\n";
@@ -132,5 +138,6 @@ int main(int argc, char** argv) {
                "with P for HFAST;\nfat-tree ports grow by 2 per processor "
                "per added level, so beyond ~10k\nprocessors the hybrid "
                "fabric is cheaper (paper conclusion).\n";
+  store::CacheCli::report(std::cerr, cache_store.get());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "hfast/analysis/batch.hpp"
 #include "hfast/analysis/paper_tables.hpp"
 #include "hfast/core/classify.hpp"
+#include "hfast/store/cli.hpp"
 #include "hfast/util/table.hpp"
 
 using namespace hfast;
@@ -44,12 +45,16 @@ constexpr PaperRow kPaper[] = {
 
 int main(int argc, char** argv) {
   // Usage: table3_summary [--engine threads|fibers]
+  //                       [--cache-dir DIR] [--no-cache] [--cache-verify]
   mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  store::CacheCli cache;
   for (int i = 1; i < argc; ++i) {
+    if (cache.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine = mpisim::parse_engine(argv[++i]);
     }
   }
+  const auto cache_store = cache.open(std::cerr);
 
   // One parallel sweep produces every (app, P) experiment; configs come
   // back in input order, so app i owns results [2i] (P=64) and [2i+1]
@@ -57,7 +62,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   for (const apps::App& a : apps::registry()) names.push_back(a.info.name);
   const auto configs = analysis::sweep_configs(names, {64, 256}, {1}, engine);
-  const auto batch = analysis::BatchRunner().run(configs);
+  const auto batch =
+      analysis::BatchRunner({.result_store = cache_store.get()}).run(configs);
   if (!batch.ok()) {
     for (const auto& e : batch.errors) {
       std::cerr << "experiment failed: " << e.job << ": " << e.message << "\n";
@@ -94,5 +100,9 @@ int main(int argc, char** argv) {
 
   util::print_banner(std::cout, "5.2 case classification");
   for (const auto& c : classifications) std::cout << "  " << c << "\n";
+
+  // Cache traffic goes to stderr so resumed runs stay byte-identical on
+  // stdout (the CI resume smoke job diffs stdout across runs).
+  store::CacheCli::report(std::cerr, cache_store.get());
   return 0;
 }

@@ -4,12 +4,16 @@
 /// command). The experiments run as one parallel batch.
 ///
 /// Usage: profile_apps [nranks] [--threads N] [--engine threads|fibers]
+///                     [--cache-dir DIR] [--no-cache] [--cache-verify]
 ///   nranks       concurrency per application (default 64)
 ///   --threads N  live-thread budget for the batch engine
 ///                (default: 4x hardware concurrency)
 ///   --engine E   execution engine per experiment (default threads);
 ///                fibers runs each job single-threaded and deterministic —
 ///                the practical choice for P=1024/4096
+///   --cache-*    durable result store (see store::CacheCli::help()):
+///                completed experiments persist as they finish, and re-runs
+///                load hits instead of recomputing
 
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +24,7 @@
 #include "hfast/core/classify.hpp"
 #include "hfast/ipm/text_report.hpp"
 #include "hfast/mpisim/runtime.hpp"
+#include "hfast/store/cli.hpp"
 #include "hfast/util/table.hpp"
 
 using namespace hfast;
@@ -28,7 +33,9 @@ int main(int argc, char** argv) {
   int nranks = 64;
   analysis::BatchOptions opts;
   mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  store::CacheCli cache;
   for (int i = 1; i < argc; ++i) {
+    if (cache.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       opts.thread_budget = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
@@ -37,6 +44,8 @@ int main(int argc, char** argv) {
       nranks = std::atoi(argv[i]);
     }
   }
+  const auto cache_store = cache.open(std::cerr);
+  opts.result_store = cache_store.get();
 
   std::vector<std::string> names;
   for (const apps::App& app : apps::registry()) {
@@ -79,6 +88,12 @@ int main(int argc, char** argv) {
             << mpisim::engine_name(engine) << " engine) in "
             << batch.wall_seconds << " s under a "
             << runner.thread_budget() << "-thread budget\n";
+  if (cache_store != nullptr) {
+    std::cout << "batch cache: " << batch.cache.hits << " hits, "
+              << batch.cache.misses << " misses, " << batch.cache.stores
+              << " stored\n";
+    store::CacheCli::report(std::cerr, cache_store.get());
+  }
   if (!batch.ok()) return EXIT_FAILURE;
 
   // Full IPM-style banner for one representative code (gtc), run with

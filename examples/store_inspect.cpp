@@ -1,0 +1,148 @@
+/// \file store_inspect.cpp
+/// Inspect, validate, and garbage-collect an hfast::store directory.
+///
+/// Usage: store_inspect DIR [options]
+///   (no option)        list every entry: key, app, P, seed, engine, size,
+///                      validity — then the aggregate stats line
+///   --verify           re-validate every entry (frame + CRC + full decode)
+///                      and report the corrupt ones; exit 1 if any
+///   --evict-corrupt    with --verify: delete entries that fail validation
+///   --evict-all        empty the store
+///   --dump KEY         print the entry with the given hex key as JSON
+///                      (same writer/field names as the analysis exports)
+///   --stats-json FILE  write the aggregate stats as JSON (CI artifact)
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "hfast/analysis/export.hpp"
+#include "hfast/mpisim/engine.hpp"
+#include "hfast/store/store.hpp"
+#include "hfast/util/json.hpp"
+
+using namespace hfast;
+
+namespace {
+
+void print_entry(const store::EntryInfo& e) {
+  std::cout << store::ResultStore::entry_filename(e.key) << "  "
+            << e.file_bytes << " bytes  ";
+  if (e.valid && e.config.has_value()) {
+    const auto& c = *e.config;
+    std::cout << c.app << " P=" << c.nranks << " seed=" << c.seed << " "
+              << mpisim::engine_name(c.engine)
+              << (c.capture_trace ? "" : " (no trace)") << "\n";
+  } else {
+    std::cout << "CORRUPT: " << e.error << "\n";
+  }
+}
+
+void write_stats_json(const std::string& path, const store::ResultStore& st) {
+  const store::StoreStats s = st.stats();
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "store_inspect: cannot open " << path << "\n";
+    return;
+  }
+  util::JsonWriter json(os);
+  json.begin_object();
+  json.field("dir", st.dir().string());
+  json.field("entries", static_cast<std::uint64_t>(s.entries));
+  json.field("valid", static_cast<std::uint64_t>(s.valid));
+  json.field("corrupt", static_cast<std::uint64_t>(s.corrupt));
+  json.field("total_bytes", static_cast<std::uint64_t>(s.total_bytes));
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: store_inspect DIR [--verify] [--evict-corrupt] "
+                 "[--evict-all] [--dump KEY] [--stats-json FILE]\n";
+    return EXIT_FAILURE;
+  }
+
+  bool verify = false;
+  bool evict_corrupt = false;
+  bool evict_all = false;
+  std::string dump_key;
+  std::string stats_json;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (std::strcmp(argv[i], "--evict-corrupt") == 0) {
+      verify = true;
+      evict_corrupt = true;
+    } else if (std::strcmp(argv[i], "--evict-all") == 0) {
+      evict_all = true;
+    } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+      dump_key = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else {
+      std::cerr << "store_inspect: unknown option " << argv[i] << "\n";
+      return EXIT_FAILURE;
+    }
+  }
+
+  try {
+    store::ResultStore st(argv[1]);
+
+    if (evict_all) {
+      std::cout << "evicted " << st.evict_all() << " entries\n";
+      return EXIT_SUCCESS;
+    }
+
+    if (!dump_key.empty()) {
+      const std::uint64_t key = std::strtoull(dump_key.c_str(), nullptr, 16);
+      for (const store::EntryInfo& e : st.list()) {
+        if (e.key != key || !e.valid) continue;
+        // Reload through the public path so the dump exercises exactly
+        // what a sweep would read.
+        if (auto r = st.load(*e.config)) {
+          analysis::write_experiment_json(std::cout, *r);
+          return EXIT_SUCCESS;
+        }
+      }
+      std::cerr << "store_inspect: no valid entry with key " << dump_key
+                << "\n";
+      return EXIT_FAILURE;
+    }
+
+    if (verify) {
+      const store::VerifyReport report = st.verify(evict_corrupt);
+      std::cout << "verified " << report.checked << " entries: " << report.ok
+                << " ok, " << report.corrupt.size() << " corrupt";
+      if (evict_corrupt) std::cout << " (" << report.evicted << " evicted)";
+      std::cout << "\n";
+      for (const auto& e : report.corrupt) {
+        std::cout << "  " << e.path.filename().string() << ": " << e.error
+                  << "\n";
+      }
+      if (!stats_json.empty()) write_stats_json(stats_json, st);
+      return report.corrupt.empty() || evict_corrupt ? EXIT_SUCCESS
+                                                     : EXIT_FAILURE;
+    }
+
+    std::size_t valid = 0;
+    std::uintmax_t bytes = 0;
+    std::size_t n = 0;
+    for (const store::EntryInfo& e : st.list()) {
+      print_entry(e);
+      ++n;
+      bytes += e.file_bytes;
+      if (e.valid) ++valid;
+    }
+    std::cout << n << " entries (" << valid << " valid), " << bytes
+              << " bytes in " << st.dir().string() << "\n";
+    if (!stats_json.empty()) write_stats_json(stats_json, st);
+  } catch (const std::exception& e) {
+    std::cerr << "store_inspect: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,12 +1,14 @@
 #include "hfast/analysis/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
 #include "hfast/apps/app.hpp"
+#include "hfast/store/store.hpp"
 #include "hfast/util/assert.hpp"
 
 namespace hfast::analysis {
@@ -99,13 +101,72 @@ int experiment_thread_weight(const ExperimentConfig& config) noexcept {
 }
 
 BatchRunner::BatchRunner(BatchOptions opts)
-    : budget_(resolve_budget(opts.thread_budget)) {}
+    : budget_(resolve_budget(opts.thread_budget)), store_(opts.result_store) {}
 
 BatchResult<ExperimentResult> BatchRunner::run(
     const std::vector<ExperimentConfig>& configs) const {
-  return run_weighted<ExperimentResult, ExperimentConfig>(
-      configs, budget_, &experiment_thread_weight, &experiment_label,
-      [](const ExperimentConfig& c) { return run_experiment(c); });
+  if (store_ == nullptr) {
+    return run_weighted<ExperimentResult, ExperimentConfig>(
+        configs, budget_, &experiment_thread_weight, &experiment_label,
+        [](const ExperimentConfig& c) { return run_experiment(c); });
+  }
+
+  // Cache-aware sweep. Probe the store up front (cheap disk reads) so hits
+  // never occupy an admission slot, then fan only the misses through the
+  // weighted scheduler. Each miss is persisted inside its worker, *before*
+  // the job is reported done — that ordering is what makes an interrupted
+  // sweep resumable: whatever finished is already on disk.
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult<ExperimentResult> out;
+  out.results.resize(configs.size());
+
+  std::vector<std::size_t> pending;  // indices that must actually run
+  std::vector<ExperimentConfig> to_run;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (auto cached = store_->load(configs[i])) {
+      out.results[i] = std::move(*cached);
+      ++out.cache.hits;
+    } else {
+      ++out.cache.misses;
+      pending.push_back(i);
+      to_run.push_back(configs[i]);
+    }
+  }
+
+  std::atomic<std::uint64_t> stores{0};
+  std::atomic<std::uint64_t> store_failures{0};
+  store::ResultStore* cache_store = store_;
+  auto sub = run_weighted<ExperimentResult, ExperimentConfig>(
+      to_run, budget_, &experiment_thread_weight, &experiment_label,
+      [cache_store, &stores, &store_failures](const ExperimentConfig& c) {
+        ExperimentResult r = run_experiment(c);
+        // A persistence failure (disk full, permissions) must not discard a
+        // computed result — the sweep just loses resumability for this job.
+        if (cache_store->save(r)) {
+          stores.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          store_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        return r;
+      });
+
+  for (std::size_t s = 0; s < pending.size(); ++s) {
+    out.results[pending[s]] = std::move(sub.results[s]);
+  }
+  for (JobError& e : sub.errors) {
+    e.index = pending[e.index];
+    out.errors.push_back(std::move(e));
+  }
+  std::sort(out.errors.begin(), out.errors.end(),
+            [](const JobError& a, const JobError& b) {
+              return a.index < b.index;
+            });
+  out.cache.stores = stores.load();
+  out.cache.store_failures = store_failures.load();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
 }
 
 BatchResult<netsim::ReplayResult> BatchRunner::run_replays(

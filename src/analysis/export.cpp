@@ -3,7 +3,9 @@
 #include <fstream>
 
 #include "hfast/graph/tdc.hpp"
+#include "hfast/store/fields.hpp"
 #include "hfast/util/assert.hpp"
+#include "hfast/util/json.hpp"
 
 namespace hfast::analysis {
 
@@ -66,6 +68,73 @@ void export_buffer_cdfs_csv(const std::filesystem::path& dir,
   };
   write(result.steady.ptp_buffers(), "ptp");
   write(result.steady.collective_buffers(), "collective");
+}
+
+namespace {
+
+/// JSON-emitting side of the shared config field list: one overload per
+/// field type the visitor can hand out.
+struct JsonConfigField {
+  util::JsonWriter& json;
+  void operator()(const char* name, const std::string& v) {
+    json.field(name, v);
+  }
+  void operator()(const char* name, const int& v) { json.field(name, v); }
+  void operator()(const char* name, const bool& v) { json.field(name, v); }
+  void operator()(const char* name, const std::uint64_t& v) {
+    json.field(name, v);
+  }
+  void operator()(const char* name, const mpisim::EngineKind& v) {
+    json.field(name, mpisim::engine_name(v));
+  }
+};
+
+}  // namespace
+
+void write_experiment_json(std::ostream& os, const ExperimentResult& result) {
+  util::JsonWriter json(os);
+  json.begin_object();
+
+  json.key("config");
+  json.begin_object();
+  JsonConfigField visit{json};
+  store::visit_config_fields(result.config, visit);
+  json.end_object();
+
+  json.field("wall_seconds", result.wall_seconds);
+
+  json.key("steady");
+  json.begin_object();
+  json.field("total_calls", result.steady.total_calls());
+  json.field("ptp_call_percent", result.steady.ptp_call_percent());
+  json.field("collective_call_percent",
+             result.steady.collective_call_percent());
+  json.field("median_ptp_buffer", result.steady.median_ptp_buffer());
+  json.field("median_collective_buffer",
+             result.steady.median_collective_buffer());
+  json.field("dropped", result.steady.dropped());
+  json.end_object();
+
+  json.key("comm_graph");
+  json.begin_object();
+  json.field("nodes", result.comm_graph.num_nodes());
+  json.field("edges", static_cast<std::uint64_t>(result.comm_graph.num_edges()));
+  json.field("total_bytes", result.comm_graph.total_bytes());
+  const auto t = graph::tdc(result.comm_graph, graph::kBdpCutoffBytes);
+  json.field("tdc_max_at_bdp_cutoff", t.max);
+  json.field("tdc_avg_at_bdp_cutoff", t.avg);
+  json.end_object();
+
+  json.field("trace_events",
+             static_cast<std::uint64_t>(result.trace.events().size()));
+  json.end_object();
+  json.finish();
+}
+
+void export_experiment_json(const std::filesystem::path& dir,
+                            const ExperimentResult& result) {
+  auto out = open_csv(dir, "experiment_" + tag(result) + ".json");
+  write_experiment_json(out, result);
 }
 
 void export_volume_matrix_csv(const std::filesystem::path& dir,

@@ -21,6 +21,20 @@ void CommGraph::add_message(Node u, Node v, std::uint64_t bytes,
   }
 }
 
+void CommGraph::add_edge_stats(Node u, Node v, const EdgeStats& stats) {
+  HFAST_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_);
+  HFAST_EXPECTS_MSG(u != v, "self-messages do not use the interconnect");
+  auto [it, inserted] = edges_.try_emplace(key(u, v));
+  EdgeStats& e = it->second;
+  e.messages += stats.messages;
+  e.bytes += stats.bytes;
+  if (stats.max_message > e.max_message) e.max_message = stats.max_message;
+  if (inserted) {
+    adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  }
+}
+
 CommGraph CommGraph::from_profile(const ipm::WorkloadProfile& profile) {
   CommGraph g(profile.nranks());
   const auto& sent = profile.sent();

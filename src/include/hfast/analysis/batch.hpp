@@ -28,6 +28,10 @@
 #include "hfast/analysis/experiment.hpp"
 #include "hfast/netsim/replay.hpp"
 
+namespace hfast::store {
+class ResultStore;
+}  // namespace hfast::store
+
 namespace hfast::analysis {
 
 struct BatchOptions {
@@ -37,6 +41,23 @@ struct BatchOptions {
   /// admitted regardless of its weight, so `thread_budget = 1` degenerates
   /// to a strictly sequential sweep.
   int thread_budget = 0;
+
+  /// Optional durable result cache (non-owning; must outlive the runner).
+  /// When set, run() probes the store before admitting each experiment —
+  /// hits are returned without running anything — and persists every
+  /// freshly computed result *as it finishes*, so a sweep killed after k of
+  /// n jobs re-runs as n-k jobs instead of n. Replays are not cached.
+  store::ResultStore* result_store = nullptr;
+};
+
+/// Cache traffic attributable to one sweep (all zero when no store is
+/// attached). hits + misses == number of experiment jobs; stores counts
+/// results newly persisted by this sweep.
+struct BatchCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t store_failures = 0;
 };
 
 /// One failed job of a sweep, reported instead of thrown.
@@ -53,6 +74,7 @@ struct BatchResult {
   std::vector<std::optional<T>> results;
   std::vector<JobError> errors;  ///< sorted by index
   double wall_seconds = 0.0;
+  BatchCacheStats cache;  ///< durable-store traffic for this sweep
 
   bool ok() const noexcept { return errors.empty(); }
 };
@@ -77,6 +99,9 @@ class BatchRunner {
   explicit BatchRunner(BatchOptions opts = {});
 
   /// Run every experiment config; weight = experiment_thread_weight(config).
+  /// With a result_store attached, cached configs are served from disk
+  /// (results[i] filled, zero compute) and fresh results are persisted the
+  /// moment each job finishes — see BatchOptions::result_store.
   BatchResult<ExperimentResult> run(
       const std::vector<ExperimentConfig>& configs) const;
 
@@ -85,9 +110,11 @@ class BatchRunner {
       const std::vector<ReplayJob>& jobs) const;
 
   int thread_budget() const noexcept { return budget_; }
+  store::ResultStore* result_store() const noexcept { return store_; }
 
  private:
   int budget_;
+  store::ResultStore* store_;
 };
 
 /// Cross product app × P × seed in input order, skipping (app, P)

@@ -5,6 +5,7 @@
 /// the text tables.
 
 #include <filesystem>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -28,5 +29,17 @@ void export_buffer_cdfs_csv(const std::filesystem::path& dir,
 /// Writes <dir>/volume_<app>_p<procs>.csv: dense bytes matrix.
 void export_volume_matrix_csv(const std::filesystem::path& dir,
                               const ExperimentResult& result);
+
+/// Writes <dir>/experiment_<app>_p<procs>.json: the full config plus the
+/// headline summary metrics. Config fields go through the same field
+/// visitor the binary store codec encodes (store/fields.hpp), so JSON key
+/// names cannot drift from the on-disk binary form.
+void export_experiment_json(const std::filesystem::path& dir,
+                            const ExperimentResult& result);
+
+/// The JSON body of export_experiment_json on an arbitrary stream (used by
+/// store_inspect to dump store entries without touching the filesystem
+/// layout above).
+void write_experiment_json(std::ostream& os, const ExperimentResult& result);
 
 }  // namespace hfast::analysis

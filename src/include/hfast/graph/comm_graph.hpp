@@ -30,6 +30,8 @@ struct EdgeStats {
     bytes += msg_bytes * count;
     if (msg_bytes > max_message) max_message = msg_bytes;
   }
+
+  friend bool operator==(const EdgeStats&, const EdgeStats&) = default;
 };
 
 class CommGraph {
@@ -41,6 +43,12 @@ class CommGraph {
 
   /// Accumulate a transfer of `bytes` between u and v (order irrelevant).
   void add_message(Node u, Node v, std::uint64_t bytes, std::uint64_t count = 1);
+
+  /// Merge precomputed edge statistics onto {u,v} verbatim. This is the
+  /// deserialization path (store codec): unlike add_message it preserves a
+  /// (messages, bytes, max_message) triple that no single message size could
+  /// reproduce, so a decoded graph is field-identical to the encoded one.
+  void add_edge_stats(Node u, Node v, const EdgeStats& stats);
 
   /// Build from a merged IPM workload profile's send-side message counts.
   static CommGraph from_profile(const ipm::WorkloadProfile& profile);

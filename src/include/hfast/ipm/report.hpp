@@ -33,6 +33,30 @@ class WorkloadProfile {
       std::span<const RankProfile* const> ranks,
       std::string_view region = "");
 
+  /// Send-side per-rank message counts, (peer, bytes) -> count; index is the
+  /// sending world rank. This is the input to graph::CommGraph.
+  using SentMap = std::map<std::pair<Rank, std::uint64_t>, std::uint64_t>;
+
+  /// Full value-semantic image of a profile: every derived statistic a
+  /// WorkloadProfile can answer is a pure function of these fields. This is
+  /// the contract the store codec (and any future transport) serializes —
+  /// keep it in lockstep with the private state below.
+  struct Snapshot {
+    int nranks = 0;
+    std::uint64_t total_calls = 0;
+    std::uint64_t dropped = 0;
+    std::vector<std::uint64_t> counts;  ///< indexed by CallType
+    std::vector<double> times;          ///< indexed by CallType
+    util::LogHistogram ptp_buffers;
+    util::LogHistogram collective_buffers;
+    std::vector<SentMap> sent;  ///< declared below; index = sending rank
+  };
+
+  Snapshot snapshot() const;
+  /// Inverse of snapshot(); throws hfast::Error when the per-call vectors
+  /// do not cover the call taxonomy or sent.size() mismatches nranks.
+  static WorkloadProfile from_snapshot(Snapshot snap);
+
   int nranks() const noexcept { return nranks_; }
 
   std::uint64_t total_calls() const noexcept { return total_calls_; }
@@ -60,9 +84,6 @@ class WorkloadProfile {
   /// Total dropped signatures across ranks (fixed-footprint overflow).
   std::uint64_t dropped() const noexcept { return dropped_; }
 
-  /// Send-side per-rank message counts, (peer, bytes) -> count; index is the
-  /// sending world rank. This is the input to graph::CommGraph.
-  using SentMap = std::map<std::pair<Rank, std::uint64_t>, std::uint64_t>;
   const std::vector<SentMap>& sent() const noexcept { return sent_; }
 
   /// Sum of call time over all ranks, per call type (seconds).

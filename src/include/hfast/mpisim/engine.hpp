@@ -47,6 +47,25 @@ EngineKind parse_engine(std::string_view name);
 /// and produces false reports). make_engine throws in that case.
 bool fibers_supported() noexcept;
 
+/// Lifetime statistics of the process-wide fiber stack pool. Fiber stacks
+/// (mmap + guard page) are recycled across jobs instead of unmapped when a
+/// job ends, so a sweep of F fiber jobs costs max-width mmaps, not
+/// sum-of-widths — at P=4096 that removes ~8k mmap/munmap/mprotect
+/// syscalls per job. All zeros on builds without fiber support.
+struct FiberStackPoolStats {
+  std::uint64_t mapped = 0;        ///< stacks created via mmap
+  std::uint64_t reused = 0;        ///< acquisitions served from the pool
+  std::uint64_t unmapped = 0;      ///< stacks released back to the kernel
+  std::uint64_t pooled = 0;        ///< stacks currently idle in the pool
+  std::uint64_t pooled_bytes = 0;  ///< bytes held by idle stacks
+};
+
+FiberStackPoolStats fiber_stack_pool_stats() noexcept;
+
+/// munmap every idle pooled stack (memory-pressure relief / test hygiene).
+/// Returns the number of stacks released.
+std::size_t trim_fiber_stack_pool() noexcept;
+
 /// What a rank is blocked on. Captured at every blocking wait so a
 /// cooperative engine can diagnose a deadlock with the stuck rank's actual
 /// receive pattern instead of a timer expiry.

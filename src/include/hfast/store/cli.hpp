@@ -1,0 +1,55 @@
+#pragma once
+/// \file cli.hpp
+/// Shared command-line plumbing for the result cache, so every driver
+/// (profile_apps, table3_summary, sec53_cost_model, ...) exposes the same
+/// three flags with the same semantics:
+///
+///   --cache-dir DIR   persist completed experiments to DIR and reuse
+///                     matching entries on re-runs (resumable sweeps)
+///   --no-cache        ignore --cache-dir entirely
+///   --cache-verify    validate every entry (CRC + decode) before the run,
+///                     evicting corrupt ones
+///
+/// Usage in a driver's arg loop:
+///
+///   store::CacheCli cache;
+///   for (int i = 1; i < argc; ++i) {
+///     if (cache.consume(argc, argv, i)) continue;
+///     ...driver-specific flags...
+///   }
+///   auto cache_store = cache.open(std::cerr);   // nullptr when disabled
+///   ...BatchOptions opts; opts.result_store = cache_store.get();...
+///   cache.report(std::cout, cache_store.get());
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "hfast/store/store.hpp"
+
+namespace hfast::store {
+
+struct CacheCli {
+  std::string cache_dir;  ///< empty = caching off
+  bool no_cache = false;
+  bool verify = false;
+
+  /// Returns true when argv[i] is one of the cache flags (advancing i over
+  /// the flag's value if it takes one). Throws hfast::Error when
+  /// --cache-dir is missing its argument.
+  bool consume(int argc, char** argv, int& i);
+
+  /// The usage lines for the three flags (for drivers' help text).
+  static const char* help();
+
+  /// Open the configured store, or nullptr when caching is off. When
+  /// `verify` was requested, runs a verify pass (evicting corrupt entries)
+  /// and describes it on `diag`.
+  std::unique_ptr<ResultStore> open(std::ostream& diag) const;
+
+  /// One-line cache traffic summary ("cache: 6 hits, 6 misses, ...");
+  /// no-op when `cache_store` is null.
+  static void report(std::ostream& os, const ResultStore* cache_store);
+};
+
+}  // namespace hfast::store

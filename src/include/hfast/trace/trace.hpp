@@ -32,6 +32,8 @@ struct CommEvent {
   Rank peer = mpisim::kNoPeer;      ///< world rank of the other endpoint
   std::uint64_t bytes = 0;
   std::uint16_t region = 0;  ///< index into Trace::region_names()
+
+  friend bool operator==(const CommEvent&, const CommEvent&) = default;
 };
 
 /// Per-rank event recorder (a CommObserver).

@@ -1,0 +1,36 @@
+#pragma once
+/// \file hash.hpp
+/// Stable, platform-independent hashing primitives for durable artifacts.
+///
+/// The experiment store keys entries by a hash of the canonically encoded
+/// config and guards payloads with a CRC32 footer; both must produce the
+/// same bits on every platform and toolchain forever, so neither can be
+/// std::hash (implementation-defined) or hardware CRC intrinsics (absent on
+/// some hosts). FNV-1a/64 over canonical little-endian bytes gives the key;
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) gives the footer.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hfast::util {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte span, resumable via `state` for incremental hashing.
+constexpr std::uint64_t fnv1a64(std::span<const std::byte> bytes,
+                                std::uint64_t state = kFnv1a64Offset) noexcept {
+  for (std::byte b : bytes) {
+    state ^= static_cast<std::uint64_t>(b);
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+/// CRC-32 (IEEE) over a byte span, resumable: pass a previous return value
+/// as `crc` to extend the checksum. Initial call uses the default.
+std::uint32_t crc32(std::span<const std::byte> bytes,
+                    std::uint32_t crc = 0) noexcept;
+
+}  // namespace hfast::util

@@ -1,0 +1,67 @@
+#pragma once
+/// \file json.hpp
+/// Minimal streaming JSON writer. Every machine-readable artifact this repo
+/// emits (BENCH_*.json, per-experiment exports, store stats dumps) routes
+/// through this one writer so quoting, escaping, and number formatting
+/// cannot drift between emitters. Output is pretty-printed with two-space
+/// indentation and stable key order (the caller's call order).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hfast::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter() { finish(); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  /// Close any open containers and emit the trailing newline (also run by
+  /// the destructor, so a writer can simply go out of scope).
+  void finish();
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void separate();  ///< comma/newline/indent before a new element
+  void indent();
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_elems_;
+  bool pending_key_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace hfast::util

@@ -47,6 +47,40 @@ WorkloadProfile WorkloadProfile::merge(
   return out;
 }
 
+WorkloadProfile::Snapshot WorkloadProfile::snapshot() const {
+  Snapshot s;
+  s.nranks = nranks_;
+  s.total_calls = total_calls_;
+  s.dropped = dropped_;
+  s.counts = counts_;
+  s.times = times_;
+  s.ptp_buffers = ptp_buffers_;
+  s.collective_buffers = coll_buffers_;
+  s.sent = sent_;
+  return s;
+}
+
+WorkloadProfile WorkloadProfile::from_snapshot(Snapshot snap) {
+  if (snap.counts.size() != static_cast<std::size_t>(mpisim::kNumCallTypes) ||
+      snap.times.size() != static_cast<std::size_t>(mpisim::kNumCallTypes)) {
+    throw Error("WorkloadProfile snapshot does not cover the call taxonomy");
+  }
+  if (snap.nranks < 0 ||
+      snap.sent.size() != static_cast<std::size_t>(snap.nranks)) {
+    throw Error("WorkloadProfile snapshot sent/nranks mismatch");
+  }
+  WorkloadProfile out;
+  out.nranks_ = snap.nranks;
+  out.total_calls_ = snap.total_calls;
+  out.dropped_ = snap.dropped;
+  out.counts_ = std::move(snap.counts);
+  out.times_ = std::move(snap.times);
+  out.ptp_buffers_ = std::move(snap.ptp_buffers);
+  out.coll_buffers_ = std::move(snap.collective_buffers);
+  out.sent_ = std::move(snap.sent);
+  return out;
+}
+
 std::uint64_t WorkloadProfile::calls_of(CallType call) const {
   return counts_[static_cast<std::size_t>(call)];
 }

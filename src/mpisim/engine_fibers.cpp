@@ -29,6 +29,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -52,6 +54,97 @@ bool fibers_supported() noexcept {
 #ifdef HFAST_FIBERS_POSIX
 
 namespace {
+
+/// Process-wide recycling pool for fiber stacks (ROADMAP memory-ceiling
+/// item). An engine tearing down returns its mapped stacks here instead of
+/// munmapping them; the next job's prepare_fiber reuses a mapping of the
+/// same size — guard page already protected — skipping the mmap + mprotect
+/// pair per fiber. Pooled bytes are capped so a one-off P=4096 job cannot
+/// pin ~1 GB of stacks forever: releases beyond the cap unmap immediately.
+class StackPool {
+ public:
+  static StackPool& instance() {
+    static StackPool pool;
+    return pool;
+  }
+
+  /// A previously mapped base for exactly `map_bytes`, or nullptr.
+  void* acquire(std::size_t map_bytes) {
+    std::lock_guard lock(m_);
+    auto it = free_.find(map_bytes);
+    if (it == free_.end() || it->second.empty()) return nullptr;
+    void* base = it->second.back();
+    it->second.pop_back();
+    pooled_bytes_ -= map_bytes;
+    --pooled_;
+    ++reused_;
+    return base;
+  }
+
+  void note_mapped() {
+    std::lock_guard lock(m_);
+    ++mapped_;
+  }
+
+  /// Pool the mapping if under the byte cap, otherwise unmap it now.
+  void release(void* base, std::size_t map_bytes) {
+    {
+      std::lock_guard lock(m_);
+      if (pooled_bytes_ + map_bytes <= kMaxPooledBytes) {
+        free_[map_bytes].push_back(base);
+        pooled_bytes_ += map_bytes;
+        ++pooled_;
+        return;
+      }
+      ++unmapped_;
+    }
+    (void)munmap(base, map_bytes);
+  }
+
+  std::size_t trim() {
+    std::map<std::size_t, std::vector<void*>> victims;
+    std::size_t n = 0;
+    {
+      std::lock_guard lock(m_);
+      victims.swap(free_);
+      for (const auto& [bytes, bases] : victims) {
+        (void)bytes;
+        n += bases.size();
+      }
+      pooled_ = 0;
+      pooled_bytes_ = 0;
+      unmapped_ += n;
+    }
+    for (const auto& [bytes, bases] : victims) {
+      for (void* base : bases) (void)munmap(base, bytes);
+    }
+    return n;
+  }
+
+  FiberStackPoolStats stats() const {
+    std::lock_guard lock(m_);
+    FiberStackPoolStats s;
+    s.mapped = mapped_;
+    s.reused = reused_;
+    s.unmapped = unmapped_;
+    s.pooled = pooled_;
+    s.pooled_bytes = pooled_bytes_;
+    return s;
+  }
+
+ private:
+  /// Generous enough to keep one P=4096 job's stacks (4096 x ~260 KB ~=
+  /// 1.04 GiB) hot across a sweep, small enough to bound idle footprint.
+  static constexpr std::size_t kMaxPooledBytes = std::size_t{1280} << 20;
+
+  mutable std::mutex m_;
+  std::map<std::size_t, std::vector<void*>> free_;  // map_bytes -> bases
+  std::uint64_t mapped_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t unmapped_ = 0;
+  std::uint64_t pooled_ = 0;
+  std::size_t pooled_bytes_ = 0;
+};
 
 class FiberEngine final : public ExecutionEngine, public Scheduler {
  public:
@@ -211,15 +304,21 @@ class FiberEngine final : public ExecutionEngine, public Scheduler {
     if (usable < 4 * page) usable = 4 * page;
     usable = (usable + page - 1) / page * page;
     f.map_bytes = usable + page;  // + one guard page below the stack
-    f.map_base = mmap(nullptr, f.map_bytes, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-    if (f.map_base == MAP_FAILED) {
-      f.map_base = nullptr;
-      throw Error("mpisim: fiber stack mmap failed");
+    // Recycled stacks arrive guard page intact; only a fresh mapping pays
+    // the mmap + mprotect pair.
+    f.map_base = StackPool::instance().acquire(f.map_bytes);
+    if (f.map_base == nullptr) {
+      f.map_base = mmap(nullptr, f.map_bytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (f.map_base == MAP_FAILED) {
+        f.map_base = nullptr;
+        throw Error("mpisim: fiber stack mmap failed");
+      }
+      StackPool::instance().note_mapped();
+      // Stacks grow down: the lowest page faults on overflow instead of
+      // silently corrupting the neighbouring fiber's stack.
+      (void)mprotect(f.map_base, page, PROT_NONE);
     }
-    // Stacks grow down: the lowest page faults on overflow instead of
-    // silently corrupting the neighbouring fiber's stack.
-    (void)mprotect(f.map_base, page, PROT_NONE);
 
     if (getcontext(&f.ctx) != 0) {
       throw Error("mpisim: getcontext failed for fiber stack setup");
@@ -350,7 +449,7 @@ class FiberEngine final : public ExecutionEngine, public Scheduler {
   void release_stacks() {
     for (Fiber& f : fibers_) {
       if (f.map_base != nullptr) {
-        (void)munmap(f.map_base, f.map_bytes);
+        StackPool::instance().release(f.map_base, f.map_bytes);
         f.map_base = nullptr;
         f.map_bytes = 0;
       }
@@ -374,11 +473,23 @@ std::unique_ptr<ExecutionEngine> make_fiber_engine(Runtime& rt) {
   return std::make_unique<FiberEngine>(rt);
 }
 
+FiberStackPoolStats fiber_stack_pool_stats() noexcept {
+  return StackPool::instance().stats();
+}
+
+std::size_t trim_fiber_stack_pool() noexcept {
+  return StackPool::instance().trim();
+}
+
 #else  // !HFAST_FIBERS_POSIX
 
 std::unique_ptr<ExecutionEngine> make_fiber_engine(Runtime&) {
   throw Error("mpisim: fiber engine requires a POSIX host (ucontext)");
 }
+
+FiberStackPoolStats fiber_stack_pool_stats() noexcept { return {}; }
+
+std::size_t trim_fiber_stack_pool() noexcept { return 0; }
 
 #endif
 

@@ -1,0 +1,58 @@
+#include "hfast/store/cli.hpp"
+
+#include <cstring>
+#include <ostream>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::store {
+
+bool CacheCli::consume(int argc, char** argv, int& i) {
+  if (std::strcmp(argv[i], "--cache-dir") == 0) {
+    if (i + 1 >= argc) throw Error("--cache-dir requires a directory");
+    cache_dir = argv[++i];
+    return true;
+  }
+  if (std::strcmp(argv[i], "--no-cache") == 0) {
+    no_cache = true;
+    return true;
+  }
+  if (std::strcmp(argv[i], "--cache-verify") == 0) {
+    verify = true;
+    return true;
+  }
+  return false;
+}
+
+const char* CacheCli::help() {
+  return "  --cache-dir DIR  persist completed experiments to DIR; re-runs\n"
+         "                   load matching entries instead of recomputing\n"
+         "  --no-cache       ignore --cache-dir\n"
+         "  --cache-verify   validate all entries before the run, evicting\n"
+         "                   corrupt ones\n";
+}
+
+std::unique_ptr<ResultStore> CacheCli::open(std::ostream& diag) const {
+  if (cache_dir.empty() || no_cache) return nullptr;
+  auto cache_store = std::make_unique<ResultStore>(cache_dir);
+  if (verify) {
+    const VerifyReport report = cache_store->verify(/*evict_corrupt=*/true);
+    diag << "cache: verified " << report.checked << " entries, " << report.ok
+         << " ok, " << report.corrupt.size() << " corrupt ("
+         << report.evicted << " evicted)\n";
+  }
+  return cache_store;
+}
+
+void CacheCli::report(std::ostream& os, const ResultStore* cache_store) {
+  if (cache_store == nullptr) return;
+  const CacheCounters c = cache_store->counters();
+  const StoreStats s = cache_store->stats();
+  os << "cache: " << c.hits << " hits, " << c.misses << " misses ("
+     << c.corrupt_misses << " corrupt), " << c.stores << " stored";
+  if (c.store_failures > 0) os << ", " << c.store_failures << " store failures";
+  os << "; " << cache_store->dir().string() << ": " << s.entries
+     << " entries, " << s.total_bytes << " bytes\n";
+}
+
+}  // namespace hfast::store

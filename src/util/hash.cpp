@@ -1,0 +1,36 @@
+#include "hfast/util/hash.hpp"
+
+#include <array>
+
+namespace hfast::util {
+
+namespace {
+
+/// The 256-entry CRC-32 (IEEE, reflected 0xEDB88320) table, computed once
+/// at static-init time; constexpr so the table lives in rodata.
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes,
+                    std::uint32_t crc) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::byte b : bytes) {
+    c = kCrcTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hfast::util

@@ -1,0 +1,153 @@
+#include "hfast/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::util {
+
+void JsonWriter::separate() {
+  if (stack_.empty()) return;
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already wrote its comma and indentation
+  }
+  if (has_elems_.back()) os_ << ',';
+  os_ << '\n';
+  indent();
+  has_elems_.back() = true;
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_elems_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  HFAST_EXPECTS_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "json: end_object without matching begin_object");
+  const bool had = has_elems_.back();
+  stack_.pop_back();
+  has_elems_.pop_back();
+  if (had) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_elems_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  HFAST_EXPECTS_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                    "json: end_array without matching begin_array");
+  const bool had = has_elems_.back();
+  stack_.pop_back();
+  has_elems_.pop_back();
+  if (had) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  HFAST_EXPECTS_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "json: key outside an object");
+  separate();
+  write_escaped(name);
+  os_ << ": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  write_escaped(v);
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no Inf/NaN
+    return;
+  }
+  // Shortest round-trippable form keeps artifacts diffable.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lg", &back);
+  for (int prec = 1; prec < 17; ++prec) {
+    char cand[32];
+    std::snprintf(cand, sizeof cand, "%.*g", prec, v);
+    std::sscanf(cand, "%lg", &back);
+    if (back == v) {
+      os_ << cand;
+      return;
+    }
+  }
+  os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::finish() {
+  if (finished_) return;
+  while (!stack_.empty()) {
+    if (stack_.back() == Frame::kObject) {
+      end_object();
+    } else {
+      end_array();
+    }
+  }
+  os_ << '\n';
+  finished_ = true;
+}
+
+}  // namespace hfast::util

@@ -277,6 +277,35 @@ TEST(FiberEngine, DiagnosesPollingLivelockViaWatchdog) {
   }
 }
 
+TEST(FiberEngine, StackPoolRecyclesMappingsAcrossJobs) {
+  if (!mpisim::fibers_supported()) GTEST_SKIP() << "fibers unsupported";
+  // The pool is process-wide and other fiber tests run in this binary, so
+  // assert on deltas, not absolutes. Two identical jobs back to back: the
+  // second must be served (at least partly) from stacks the first retired.
+  const auto run_job = [] {
+    mpisim::Runtime rt(fiber_cfg(16));
+    rt.run([](mpisim::RankContext& ctx) {
+      ctx.barrier();
+    });
+  };
+  run_job();
+  const auto before = mpisim::fiber_stack_pool_stats();
+  EXPECT_GE(before.pooled, 16u);  // the first job's stacks are idle, pooled
+  run_job();
+  const auto after = mpisim::fiber_stack_pool_stats();
+  EXPECT_GE(after.reused, before.reused + 16);
+  EXPECT_EQ(after.mapped, before.mapped);  // nothing new was mmap'd
+
+  // Trim releases every idle stack and the next job maps fresh ones.
+  EXPECT_GE(mpisim::trim_fiber_stack_pool(), 16u);
+  const auto trimmed = mpisim::fiber_stack_pool_stats();
+  EXPECT_EQ(trimmed.pooled, 0u);
+  EXPECT_EQ(trimmed.pooled_bytes, 0u);
+  run_job();
+  const auto remapped = mpisim::fiber_stack_pool_stats();
+  EXPECT_GE(remapped.mapped, trimmed.mapped + 16);
+}
+
 // --- determinism -------------------------------------------------------------
 
 TEST(EngineDeterminism, SameSeedSameTraceBytesWildcardAppsIncluded) {
