@@ -17,6 +17,7 @@
 #include "hfast/graph/tdc.hpp"
 #include "hfast/mpisim/runtime.hpp"
 #include "hfast/netsim/replay.hpp"
+#include "hfast/netsim/replay_parallel.hpp"
 #include "hfast/store/store.hpp"
 #include "hfast/topo/mesh.hpp"
 #include "hfast/util/json.hpp"
@@ -183,6 +184,23 @@ void BM_replay_torus(benchmark::State& state) {
 }
 BENCHMARK(BM_replay_torus)->Unit(benchmark::kMillisecond);
 
+void BM_parallel_replay_torus(benchmark::State& state) {
+  const auto r = analysis::run_experiment("cactus", 64);
+  const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+  const topo::MeshTorus torus(topo::MeshTorus::balanced_dims(64, 3), true);
+  netsim::LinkParams link;
+  const int shards = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    netsim::DirectNetwork net(torus, link);
+    benchmark::DoNotOptimize(
+        netsim::parallel_replay(steady, net, {}, {.shards = shards}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(steady.events().size()));
+}
+BENCHMARK(BM_parallel_replay_torus)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
 /// Emit the sweep-engine datapoint the roadmap tracks: sequential vs
 /// batched wall time for the standard job set, as BENCH_batch_sweep.json
 /// in the working directory.
@@ -257,6 +275,45 @@ void write_batch_sweep_datapoint() {
     std::filesystem::remove_all(store_dir, ec);
   }
 
+  // Parallel-replay datapoint: serial vs partitioned-clock replay of a
+  // cactus P=1024 fiber trace on a 3-D torus — the trace scale the serial
+  // replay was the bottleneck for. exact_match records the bitwise parity
+  // guarantee; -1 seconds means fibers are unavailable (TSan builds).
+  double replay_serial = -1.0, replay_parallel = -1.0;
+  std::uint64_t replay_events = 0;
+  bool replay_exact = false;
+  const int replay_shards = 4;
+  if (mpisim::fibers_supported()) {
+    try {
+      analysis::ExperimentConfig cfg;
+      cfg.app = "cactus";
+      cfg.nranks = 1024;
+      cfg.engine = mpisim::EngineKind::kFibers;
+      const auto exp = analysis::run_experiment(cfg);
+      const auto steady = exp.trace.filter_region(apps::kSteadyRegion);
+      replay_events = steady.events().size();
+      const topo::MeshTorus torus(topo::MeshTorus::balanced_dims(1024, 3),
+                                  true);
+      const netsim::LinkParams link;
+      netsim::DirectNetwork serial_net(torus, link);
+      auto start = std::chrono::steady_clock::now();
+      const auto serial_result = netsim::replay(steady, serial_net);
+      replay_serial = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      netsim::DirectNetwork parallel_net(torus, link);
+      start = std::chrono::steady_clock::now();
+      const auto parallel_result = netsim::parallel_replay(
+          steady, parallel_net, {}, {.shards = replay_shards});
+      replay_parallel = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      replay_exact = serial_result == parallel_result;
+    } catch (const std::exception& e) {
+      std::cerr << "BENCH replay datapoint skipped: " << e.what() << "\n";
+    }
+  }
+
   std::ofstream ofs("BENCH_batch_sweep.json");
   util::JsonWriter json(ofs);
   json.begin_object();
@@ -282,6 +339,17 @@ void write_batch_sweep_datapoint() {
   json.field("warm_hits", warm_hits);
   json.field("warm_speedup", cold > 0.0 && warm > 0.0 ? cold / warm : 0.0);
   json.end_object();
+  json.key("replay_p1024");
+  json.begin_object();
+  json.field("events", replay_events);
+  json.field("shards", replay_shards);
+  json.field("serial_seconds", replay_serial);
+  json.field("parallel_seconds", replay_parallel);
+  json.field("speedup", replay_serial > 0.0 && replay_parallel > 0.0
+                            ? replay_serial / replay_parallel
+                            : 0.0);
+  json.field("exact_match", replay_exact);
+  json.end_object();
   json.end_object();
   json.finish();
   std::cout << "BENCH_batch_sweep.json: " << configs.size() << " jobs, "
@@ -289,7 +357,10 @@ void write_batch_sweep_datapoint() {
             << (par > 0.0 ? seq / par : 0.0) << "x); P=256 engines: "
             << threads256 << " s threads vs " << fibers256
             << " s fibers; store: " << cold << " s cold vs " << warm
-            << " s warm (" << warm_hits << " hits)\n";
+            << " s warm (" << warm_hits << " hits); replay P=1024: "
+            << replay_serial << " s serial vs " << replay_parallel << " s x"
+            << replay_shards << " shards (exact="
+            << (replay_exact ? "yes" : "no") << ")\n";
 }
 
 }  // namespace

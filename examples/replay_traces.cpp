@@ -1,0 +1,212 @@
+/// \file replay_traces.cpp
+/// Trace a paper application, then replay its communication stream on a
+/// chosen network model with the partitioned-clock parallel replay — the
+/// driver that opens the P=1024/4096 traces the fiber engine produces.
+///
+/// Usage: replay_traces [nranks] [--app NAME] [--engine threads|fibers]
+///                      [--network fcn|torus|fattree|hfast]
+///                      [--replay-threads K] [--verify] [--seed S]
+///                      [--save FILE] [--load FILE]
+///   nranks             trace concurrency (default 64)
+///   --app NAME         application kernel to trace (default cactus)
+///   --engine E         trace generation engine (default fibers — the only
+///                      practical route to P=1024/4096)
+///   --network M        replay substrate (default torus)
+///   --replay-threads K replay shards: 1 = serial algorithm, >1 = parallel
+///                      partitioned-clock replay, 0 = hardware concurrency
+///   --verify           also run the serial replay and require an exactly
+///                      equal ReplayResult (bitwise double equality)
+///   --seed S           experiment seed (default 1)
+///   --save FILE        write the generated trace as text and continue
+///   --load FILE        replay a text trace instead of generating one
+///                      (nranks/--app/--engine are then ignored)
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/core/provision.hpp"
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/netsim/replay.hpp"
+#include "hfast/netsim/replay_parallel.hpp"
+#include "hfast/topo/fat_tree.hpp"
+#include "hfast/topo/fcn.hpp"
+#include "hfast/topo/mesh.hpp"
+
+using namespace hfast;
+
+namespace {
+
+/// Owns the topology/fabric a network model borrows, so the model can
+/// outlive this scope safely.
+struct NetworkBundle {
+  std::unique_ptr<topo::FullyConnected> fcn;
+  std::unique_ptr<topo::MeshTorus> torus;
+  std::unique_ptr<topo::FatTree> tree;
+  std::optional<core::Provisioned> prov;
+  std::unique_ptr<netsim::Network> net;
+};
+
+NetworkBundle build_network(const std::string& kind, const trace::Trace& t) {
+  const int n = t.nranks();
+  const netsim::LinkParams link;
+  NetworkBundle b;
+  if (kind == "fcn") {
+    b.fcn = std::make_unique<topo::FullyConnected>(n);
+    b.net = std::make_unique<netsim::DirectNetwork>(*b.fcn, link);
+  } else if (kind == "torus") {
+    b.torus = std::make_unique<topo::MeshTorus>(
+        topo::MeshTorus::balanced_dims(n, 3), true);
+    b.net = std::make_unique<netsim::DirectNetwork>(*b.torus, link);
+  } else if (kind == "fattree") {
+    b.tree = std::make_unique<topo::FatTree>(n, 16);
+    b.net = std::make_unique<netsim::FatTreeNetwork>(*b.tree, link);
+  } else if (kind == "hfast") {
+    // Provision the fabric from the trace's own communication topology —
+    // exactly what the paper's HFAST evaluation does with IPM data.
+    graph::CommGraph g(n);
+    for (const trace::CommEvent& e : t.events()) {
+      if (e.kind == trace::EventKind::kSend && e.peer != e.rank &&
+          e.peer >= 0) {
+        g.add_message(e.rank, e.peer, e.bytes);
+      }
+    }
+    b.prov = core::provision_greedy(g, {.cutoff = 0});
+    b.net = std::make_unique<netsim::FabricNetwork>(b.prov->fabric, link,
+                                                    50e-9);
+  } else {
+    throw Error("unknown network model: " + kind +
+                " (expected fcn|torus|fattree|hfast)");
+  }
+  return b;
+}
+
+void print_result(const char* label, const netsim::ReplayResult& r,
+                  double seconds) {
+  std::cout << label << ": makespan=" << r.makespan_s
+            << " s, recv_wait=" << r.total_recv_wait_s
+            << " s, messages=" << r.messages << ", bytes=" << r.bytes
+            << ",\n  avg_latency=" << r.avg_message_latency_s
+            << " s, max_latency=" << r.max_message_latency_s
+            << " s, avg_hops=" << r.avg_switch_hops
+            << ", max_hops=" << r.max_switch_hops << "  [" << seconds
+            << " s wall]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nranks = 64;
+  std::string app = "cactus";
+  std::string network = "torus";
+  std::string save_file, load_file;
+  mpisim::EngineKind engine = mpisim::EngineKind::kFibers;
+  int replay_threads = 0;
+  bool verify = false;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--app") == 0 && i + 1 < argc) {
+      app = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = mpisim::parse_engine(argv[++i]);
+    } else if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
+      network = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-threads") == 0 && i + 1 < argc) {
+      replay_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      load_file = argv[++i];
+    } else {
+      nranks = std::atoi(argv[i]);
+    }
+  }
+
+  try {
+    trace::Trace t(0, {}, {});
+    if (!load_file.empty()) {
+      std::ifstream in(load_file);
+      if (!in) throw Error("cannot open trace file: " + load_file);
+      t = trace::Trace::load_text(in);
+      std::cout << "loaded " << load_file << ": P=" << t.nranks() << ", "
+                << t.events().size() << " events\n";
+    } else {
+      if (engine == mpisim::EngineKind::kFibers &&
+          !mpisim::fibers_supported()) {
+        std::cerr << "fibers unsupported in this build; using threads\n";
+        engine = mpisim::EngineKind::kThreads;
+      }
+      analysis::ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.nranks = nranks;
+      cfg.engine = engine;
+      cfg.seed = seed;
+      const auto started = std::chrono::steady_clock::now();
+      auto result = analysis::run_experiment(cfg);
+      const double trace_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      t = std::move(result.trace);
+      std::cout << app << " @ P=" << nranks << " ("
+                << mpisim::engine_name(engine) << "): " << t.events().size()
+                << " events traced in " << trace_s << " s\n";
+    }
+    if (!save_file.empty()) {
+      std::ofstream out(save_file);
+      if (!out) throw Error("cannot open for writing: " + save_file);
+      t.save_text(out);
+      std::cout << "saved trace to " << save_file << "\n";
+    }
+
+    auto bundle = build_network(network, t);
+    netsim::Network& net = *bundle.net;
+    std::cout << "replaying on " << net.name() << " with "
+              << (replay_threads == 1 ? std::string("the serial replay")
+                                      : std::to_string(replay_threads) +
+                                            " shards (0 = auto)")
+              << "\n";
+
+    const auto run = [&](auto&& fn) {
+      const auto start = std::chrono::steady_clock::now();
+      netsim::ReplayResult r = fn();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      return std::pair<netsim::ReplayResult, double>(r, s);
+    };
+
+    const auto [parallel, parallel_s] = run([&] {
+      if (replay_threads == 1) return netsim::replay(t, net);
+      return netsim::parallel_replay(t, net, {},
+                                     {.shards = replay_threads});
+    });
+    print_result(replay_threads == 1 ? "serial" : "parallel", parallel,
+                 parallel_s);
+
+    if (verify) {
+      const auto [serial, serial_s] = run([&] { return netsim::replay(t, net); });
+      print_result("serial (verify)", serial, serial_s);
+      if (!(serial == parallel)) {
+        std::cerr << "PARITY FAILURE: parallel result differs from serial\n";
+        return EXIT_FAILURE;
+      }
+      std::cout << "verify: exact match (serial " << serial_s
+                << " s vs parallel " << parallel_s << " s)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "replay_traces: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "hfast/apps/app.hpp"
+#include "hfast/netsim/replay_parallel.hpp"
 #include "hfast/store/store.hpp"
 #include "hfast/util/assert.hpp"
 
@@ -172,7 +173,8 @@ BatchResult<ExperimentResult> BatchRunner::run(
 BatchResult<netsim::ReplayResult> BatchRunner::run_replays(
     const std::vector<ReplayJob>& jobs) const {
   return run_weighted<netsim::ReplayResult, ReplayJob>(
-      jobs, budget_, [](const ReplayJob&) { return 1; },
+      jobs, budget_,
+      [](const ReplayJob& j) { return std::max(1, j.shards); },
       [](const ReplayJob& j) { return j.label; },
       [](const ReplayJob& j) {
         HFAST_EXPECTS_MSG(j.trace != nullptr, "replay job without a trace");
@@ -180,6 +182,10 @@ BatchResult<netsim::ReplayResult> BatchRunner::run_replays(
                           "replay job without a network factory");
         auto net = j.make_network();
         HFAST_EXPECTS_MSG(net != nullptr, "network factory returned null");
+        if (j.shards > 1) {
+          return netsim::parallel_replay(*j.trace, *net, j.params,
+                                         {.shards = j.shards});
+        }
         return netsim::replay(*j.trace, *net, j.params);
       });
 }

@@ -87,6 +87,10 @@ struct ReplayJob {
   const trace::Trace* trace = nullptr;
   std::function<std::unique_ptr<netsim::Network>()> make_network;
   netsim::ReplayParams params;
+  /// Replay shards: 1 (default) runs the serial replay; >1 runs the
+  /// partitioned-clock parallel replay (bit-identical results) and is
+  /// charged to the batch thread budget as `shards` live threads.
+  int shards = 1;
 };
 
 /// Live OS threads one experiment occupies while running: `nranks` under

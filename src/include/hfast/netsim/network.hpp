@@ -7,6 +7,18 @@
 /// element). Link occupancy persists across transfers — that is where
 /// contention comes from.
 ///
+/// State is split in two:
+///  * routing (vertices, links, route caches) is structurally immutable
+///    once built and — after a prewarm_route() pass over the pairs a
+///    replay will use — served through genuinely read-only query paths, so
+///    several replay shards may safely share one network for route/hop
+///    lookups;
+///  * per-replay occupancy (when each link next goes idle) lives in a
+///    separate `free_at` array cleared by reset(), and is only touched by
+///    transfer(). Replays serialize transfer() calls (see
+///    replay_parallel.cpp for how the parallel replay keeps that total
+///    order deterministic).
+///
 /// Three concrete models:
 ///  * DirectNetwork  — a DirectTopology (mesh/torus/hypercube/FCN) with one
 ///    router per node; every inter-router link is a contended resource.
@@ -48,30 +60,56 @@ class Network {
   virtual double transfer(int src, int dst, std::uint64_t bytes,
                           double start) = 0;
 
+  /// Clear per-replay mutable state (link occupancy). Routing caches are
+  /// deliberately kept: routes are a pure function of the topology.
   virtual void reset() = 0;
 
   /// Packet switches traversed on the src->dst path (latency accounting
-  /// and the paper's layer-count comparison).
+  /// and the paper's layer-count comparison). Read-only: never mutates
+  /// caches, so it is safe to call concurrently once routes are prewarmed
+  /// (un-prewarmed pairs are recomputed on the fly instead of memoized).
   virtual int switch_hops(int src, int dst) const = 0;
+
+  /// Populate the route cache for one ordered pair so later transfer() /
+  /// switch_hops() queries are pure lookups. Replay calls this for every
+  /// (src, dst) a trace contains before simulating a single event; models
+  /// with closed-form routing (fat trees) need no warmup and keep the
+  /// default no-op.
+  virtual void prewarm_route(int src, int dst) {
+    (void)src;
+    (void)dst;
+  }
+
+  /// Conservative lower bound on (arrival - injection) for any transfer
+  /// between distinct endpoints. The partitioned-clock parallel replay
+  /// derives its lookahead from this: no message can arrive (and therefore
+  /// wake a blocked rank) sooner than this after its injection time.
+  virtual double min_transfer_latency_s() const { return 0.0; }
 };
 
-/// Shared machinery: a vertex/link store with occupancy tracking.
+/// Shared machinery: a vertex/link store with occupancy tracking. Link
+/// structure (endpoints, parameters) is immutable after construction; the
+/// only mutable replay state is the parallel `free_at_` occupancy array.
 class LinkNetwork : public Network {
  public:
   void reset() override;
+  double min_transfer_latency_s() const override;
 
  protected:
   struct Link {
     int from = -1;
     int to = -1;
     LinkParams params;
-    double free_at = 0.0;
   };
 
   int add_vertex() { return num_vertices_++; }
   /// Adds the two directed links of a full-duplex connection; returns the
   /// forward link id (the reverse is id+1).
   int add_duplex_link(int a, int b, const LinkParams& params);
+
+  /// Registers one directed link (derived constructors that need
+  /// asymmetric parameters); returns its id.
+  int add_directed_link(int from, int to, const LinkParams& params);
 
   /// Stream a message along the link-id path.
   double traverse(const std::vector<int>& link_path, std::uint64_t bytes,
@@ -83,6 +121,12 @@ class LinkNetwork : public Network {
   int num_vertices_ = 0;
   std::vector<Link> links_;
   std::map<std::pair<int, int>, int> link_index_;
+
+ private:
+  /// Per-replay mutable state, kept apart from the immutable link table:
+  /// when each directed link next goes idle. Sized on first use so derived
+  /// constructors may keep adding links after base construction.
+  std::vector<double> free_at_;
 };
 
 class DirectNetwork final : public LinkNetwork {
@@ -93,6 +137,7 @@ class DirectNetwork final : public LinkNetwork {
   int num_endpoints() const override { return topo_.num_nodes(); }
   double transfer(int src, int dst, std::uint64_t bytes, double start) override;
   int switch_hops(int src, int dst) const override;
+  void prewarm_route(int src, int dst) override;
 
  private:
   const std::vector<int>& path_links(int src, int dst);
@@ -113,16 +158,21 @@ class FabricNetwork final : public LinkNetwork {
   int num_endpoints() const override { return fabric_.num_nodes(); }
   double transfer(int src, int dst, std::uint64_t bytes, double start) override;
   int switch_hops(int src, int dst) const override;
+  void prewarm_route(int src, int dst) override;
 
  private:
-  const std::vector<int>& path_links(int src, int dst);
+  /// One prewarmed route: the link path and its hop count together, so the
+  /// const switch_hops() query never has to mutate a side table.
+  struct RouteEntry {
+    std::vector<int> links;
+    int hops = 0;
+  };
+
+  const RouteEntry& route_entry(int src, int dst);
   int block_vertex(int block_id) const { return fabric_.num_nodes() + block_id; }
 
   const core::Fabric& fabric_;
-  std::map<std::pair<int, int>, std::vector<int>> route_cache_;
-  /// Hop-count memo, filled by path_links() and lazily by the const
-  /// switch_hops() fallback for pairs queried before their first transfer.
-  mutable std::map<std::pair<int, int>, int> route_hops_;
+  std::map<std::pair<int, int>, RouteEntry> route_cache_;
 };
 
 class FatTreeNetwork final : public LinkNetwork {
@@ -134,6 +184,11 @@ class FatTreeNetwork final : public LinkNetwork {
   double transfer(int src, int dst, std::uint64_t bytes, double start) override;
   int switch_hops(int src, int dst) const override {
     return tree_.switch_traversals(src, dst);
+  }
+  /// Endpoint links are zero-latency by construction; the analytic interior
+  /// contributes at least one switch traversal per transfer.
+  double min_transfer_latency_s() const override {
+    return params_.latency_s + params_.switch_overhead_s;
   }
 
  private:

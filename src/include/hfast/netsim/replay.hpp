@@ -32,6 +32,10 @@ struct ReplayResult {
   double max_message_latency_s = 0.0;
   double avg_switch_hops = 0.0;
   int max_switch_hops = 0;
+
+  /// Bitwise field equality — the serial-vs-parallel parity contract is
+  /// exact double equality, not approximate.
+  bool operator==(const ReplayResult&) const = default;
 };
 
 /// Replay the point-to-point + collective event stream of `trace` on `net`.

@@ -1,6 +1,7 @@
 #include "hfast/netsim/network.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "hfast/util/assert.hpp"
 
@@ -8,19 +9,31 @@ namespace hfast::netsim {
 
 // --- LinkNetwork --------------------------------------------------------------
 
-void LinkNetwork::reset() {
-  for (Link& l : links_) l.free_at = 0.0;
+void LinkNetwork::reset() { free_at_.assign(links_.size(), 0.0); }
+
+double LinkNetwork::min_transfer_latency_s() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const Link& l : links_) {
+    lo = std::min(lo, l.params.latency_s + l.params.switch_overhead_s);
+  }
+  // Every transfer between distinct endpoints crosses at least one link;
+  // serialization only adds on top. A linkless network bounds nothing.
+  return links_.empty() ? 0.0 : lo;
+}
+
+int LinkNetwork::add_directed_link(int from, int to, const LinkParams& params) {
+  const int id = static_cast<int>(links_.size());
+  links_.push_back({from, to, params});
+  link_index_.try_emplace({from, to}, id);
+  return id;
 }
 
 int LinkNetwork::add_duplex_link(int a, int b, const LinkParams& params) {
   HFAST_EXPECTS(a >= 0 && a < num_vertices_ && b >= 0 && b < num_vertices_);
-  const int fwd = static_cast<int>(links_.size());
-  links_.push_back({a, b, params, 0.0});
-  links_.push_back({b, a, params, 0.0});
   // First link added between a pair wins the index (parallel trunks share
   // the cache entry only for route lookup; occupancy is still per-link).
-  link_index_.try_emplace({a, b}, fwd);
-  link_index_.try_emplace({b, a}, fwd + 1);
+  const int fwd = add_directed_link(a, b, params);
+  (void)add_directed_link(b, a, params);
   return fwd;
 }
 
@@ -33,13 +46,15 @@ int LinkNetwork::link_between(int a, int b) const {
 double LinkNetwork::traverse(const std::vector<int>& link_path,
                              std::uint64_t bytes, double start) {
   HFAST_EXPECTS(!link_path.empty());
+  if (free_at_.size() != links_.size()) free_at_.resize(links_.size(), 0.0);
   double head = start;
   double last_ser = 0.0;
   for (int id : link_path) {
-    Link& l = links_[static_cast<std::size_t>(id)];
-    head = std::max(head, l.free_at);
+    const Link& l = links_[static_cast<std::size_t>(id)];
+    double& free_at = free_at_[static_cast<std::size_t>(id)];
+    head = std::max(head, free_at);
     const double ser = static_cast<double>(bytes) / l.params.bandwidth_bps;
-    l.free_at = head + ser;  // link streams this message until the tail passes
+    free_at = head + ser;  // link streams this message until the tail passes
     head += l.params.latency_s + l.params.switch_overhead_s;
     last_ser = ser;
   }
@@ -75,6 +90,10 @@ const std::vector<int>& DirectNetwork::path_links(int src, int dst) {
   return route_cache_.emplace(key, std::move(path)).first->second;
 }
 
+void DirectNetwork::prewarm_route(int src, int dst) {
+  (void)path_links(src, dst);
+}
+
 double DirectNetwork::transfer(int src, int dst, std::uint64_t bytes,
                                double start) {
   HFAST_EXPECTS(src != dst);
@@ -108,57 +127,52 @@ FabricNetwork::FabricNetwork(const core::Fabric& fabric,
       if (port.use == core::PortUse::kHost) {
         // node -> block pays switch overhead; block -> node does not.
         const int node = port.host_node;
-        links_.push_back({node, block_vertex(b), into_block, 0.0});
-        link_index_.try_emplace({node, block_vertex(b)},
-                                static_cast<int>(links_.size()) - 1);
-        links_.push_back({block_vertex(b), node, circuit, 0.0});
-        link_index_.try_emplace({block_vertex(b), node},
-                                static_cast<int>(links_.size()) - 1);
+        (void)add_directed_link(node, block_vertex(b), into_block);
+        (void)add_directed_link(block_vertex(b), node, circuit);
       } else if (port.use == core::PortUse::kTrunk && port.peer.block > b) {
         const int a = block_vertex(b);
         const int c = block_vertex(port.peer.block);
-        links_.push_back({a, c, into_block, 0.0});
-        link_index_.try_emplace({a, c}, static_cast<int>(links_.size()) - 1);
-        links_.push_back({c, a, into_block, 0.0});
-        link_index_.try_emplace({c, a}, static_cast<int>(links_.size()) - 1);
+        (void)add_directed_link(a, c, into_block);
+        (void)add_directed_link(c, a, into_block);
       }
     }
   }
 }
 
-const std::vector<int>& FabricNetwork::path_links(int src, int dst) {
+const FabricNetwork::RouteEntry& FabricNetwork::route_entry(int src, int dst) {
   const auto key = std::pair{src, dst};
   auto it = route_cache_.find(key);
   if (it != route_cache_.end()) return it->second;
   const core::FabricRoute r = fabric_.route(src, dst);
-  std::vector<int> path;
-  path.reserve(r.blocks.size() + 1);
+  RouteEntry entry;
+  entry.hops = r.switch_hops();
+  entry.links.reserve(r.blocks.size() + 1);
   int prev = src;
   for (int b : r.blocks) {
-    path.push_back(link_between(prev, block_vertex(b)));
+    entry.links.push_back(link_between(prev, block_vertex(b)));
     prev = block_vertex(b);
   }
-  path.push_back(link_between(prev, dst));
-  route_hops_[key] = r.switch_hops();
-  return route_cache_.emplace(key, std::move(path)).first->second;
+  entry.links.push_back(link_between(prev, dst));
+  return route_cache_.emplace(key, std::move(entry)).first->second;
+}
+
+void FabricNetwork::prewarm_route(int src, int dst) {
+  (void)route_entry(src, dst);
 }
 
 double FabricNetwork::transfer(int src, int dst, std::uint64_t bytes,
                                double start) {
   HFAST_EXPECTS(src != dst);
-  return traverse(path_links(src, dst), bytes, start);
+  return traverse(route_entry(src, dst).links, bytes, start);
 }
 
 int FabricNetwork::switch_hops(int src, int dst) const {
-  const auto key = std::pair{src, dst};
-  const auto it = route_hops_.find(key);
-  if (it != route_hops_.end()) return it->second;
-  // Memoize the fallback too: replay asks for hops per message, and
-  // recomputing fabric_.route() on every pre-transfer query is O(route)
-  // each time for a value that never changes.
-  const int hops = fabric_.route(src, dst).switch_hops();
-  route_hops_.emplace(key, hops);
-  return hops;
+  const auto it = route_cache_.find({src, dst});
+  if (it != route_cache_.end()) return it->second.hops;
+  // Not prewarmed: recompute instead of memoizing, so the const query path
+  // stays read-only (and therefore safe under concurrent readers). Replay
+  // prewarms every pair it will touch, so this path is cold by design.
+  return fabric_.route(src, dst).switch_hops();
 }
 
 // --- FatTreeNetwork -----------------------------------------------------------

@@ -1,62 +1,32 @@
 #include "hfast/netsim/replay.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <queue>
 
 #include "hfast/util/assert.hpp"
+#include "replay_detail.hpp"
 
 namespace hfast::netsim {
 
 namespace {
 
+using detail::ChannelFifo;
+using detail::RankState;
 using trace::CommEvent;
 using trace::EventKind;
-
-struct RankState {
-  std::vector<CommEvent> ops;
-  std::size_t pos = 0;
-  double clock = 0.0;
-  bool blocked = false;
-};
-
-/// Arrival-time FIFO backed by a flat vector with a consumed-prefix index:
-/// no per-node allocation (unlike std::deque), and an empty channel costs
-/// nothing but the struct itself. The consumed prefix is reclaimed whenever
-/// it outgrows the live tail, keeping memory proportional to in-flight
-/// messages.
-struct ChannelFifo {
-  std::vector<double> arrivals;
-  std::size_t head = 0;
-
-  bool empty() const noexcept { return head == arrivals.size(); }
-  void push(double t) { arrivals.push_back(t); }
-  double pop() {
-    const double t = arrivals[head++];
-    if (head > 64 && head * 2 > arrivals.size()) {
-      arrivals.erase(arrivals.begin(),
-                     arrivals.begin() + static_cast<std::ptrdiff_t>(head));
-      head = 0;
-    }
-    return t;
-  }
-};
 
 struct QueueEntry {
   double clock;
   int rank;
-  bool operator>(const QueueEntry& o) const { return clock > o.clock; }
+  /// (clock, rank) lexicographic. Breaking equal-clock ties by rank pins
+  /// the schedule — and therefore every float accumulation order — to a
+  /// total order no stdlib heap layout can perturb, which is also the
+  /// order the parallel replay's sequencer reproduces.
+  bool operator>(const QueueEntry& o) const {
+    if (clock != o.clock) return clock > o.clock;
+    return rank > o.rank;
+  }
 };
-
-double collective_cost(const CommEvent& e, int nranks,
-                       const ReplayParams& params) {
-  const int levels =
-      nranks <= 1 ? 0
-                  : static_cast<int>(std::ceil(std::log2(nranks)));
-  // Up the combine tree and back down, plus payload at tree bandwidth.
-  return 2.0 * levels * params.tree_hop_latency_s +
-         static_cast<double>(e.bytes) / params.tree_bandwidth_bps;
-}
 
 }  // namespace
 
@@ -64,15 +34,13 @@ ReplayResult replay(const trace::Trace& trace, Network& net,
                     const ReplayParams& params) {
   HFAST_EXPECTS_MSG(trace.nranks() <= net.num_endpoints(),
                     "network too small for the trace");
+  detail::validate_events(trace);
   net.reset();
+  detail::prewarm_routes(trace, net);
 
   const int n = trace.nranks();
   std::vector<RankState> ranks(static_cast<std::size_t>(n));
   for (const CommEvent& e : trace.events()) {
-    if (e.kind != EventKind::kCollective) {
-      HFAST_EXPECTS_MSG(e.peer >= 0 && e.peer < n,
-                        "replay: point-to-point event peer out of range");
-    }
     ranks[static_cast<std::size_t>(e.rank)].ops.push_back(e);
   }
 
@@ -150,7 +118,7 @@ ReplayResult replay(const trace::Trace& trace, Network& net,
         }
         const double arrival = q.pop();
         if (arrival > rs.clock) {
-          result.total_recv_wait_s += arrival - rs.clock;
+          rs.recv_wait += arrival - rs.clock;
           rs.clock = arrival;
         }
         rs.clock += params.recv_overhead_s;
@@ -158,7 +126,8 @@ ReplayResult replay(const trace::Trace& trace, Network& net,
         break;
       }
       case EventKind::kCollective: {
-        rs.clock += params.send_overhead_s + collective_cost(e, n, params);
+        rs.clock += params.send_overhead_s +
+                    detail::collective_cost(e.bytes, n, params);
         ++rs.pos;
         break;
       }
@@ -169,11 +138,16 @@ ReplayResult replay(const trace::Trace& trace, Network& net,
     } else if (!rs.blocked) {
       pq.push({rs.clock, r});
     }
-    result.makespan_s = std::max(result.makespan_s, rs.clock);
   }
 
   if (finished != static_cast<std::size_t>(n)) {
     throw Error("replay: trace stalled — receive without a matching send");
+  }
+  // Rank clocks are monotone, so the per-rank final clock is that rank's
+  // completion time; both finalizations run in rank order on both paths.
+  for (const RankState& rs : ranks) {
+    result.makespan_s = std::max(result.makespan_s, rs.clock);
+    result.total_recv_wait_s += rs.recv_wait;
   }
   if (result.messages > 0) {
     result.avg_message_latency_s =

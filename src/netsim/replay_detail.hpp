@@ -1,0 +1,94 @@
+#pragma once
+/// \file replay_detail.hpp
+/// Internals shared between the serial replay and the partitioned-clock
+/// parallel replay. The two are contractually bit-identical, so every cost
+/// or validation rule they both apply must live here as the single
+/// implementation — a copy that drifts by one rounding step breaks parity.
+
+#include <cmath>
+#include <string>
+
+#include "hfast/netsim/network.hpp"
+#include "hfast/netsim/replay.hpp"
+#include "hfast/trace/trace.hpp"
+
+namespace hfast::netsim::detail {
+
+/// Per-rank execution state. Both replays advance a rank through its event
+/// stream with exactly the same statements; `recv_wait` accumulates
+/// rank-locally in event order and is reduced over ranks at the end, so
+/// the float sum never depends on how ranks interleave.
+struct RankState {
+  std::vector<trace::CommEvent> ops;
+  std::size_t pos = 0;
+  double clock = 0.0;
+  double recv_wait = 0.0;
+  bool blocked = false;
+};
+
+/// Arrival-time FIFO backed by a flat vector with a consumed-prefix index:
+/// no per-node allocation (unlike std::deque), and an empty channel costs
+/// nothing but the struct itself. The consumed prefix is reclaimed whenever
+/// it outgrows the live tail, keeping memory proportional to in-flight
+/// messages.
+struct ChannelFifo {
+  std::vector<double> arrivals;
+  std::size_t head = 0;
+
+  bool empty() const noexcept { return head == arrivals.size(); }
+  void push(double t) { arrivals.push_back(t); }
+  double pop() {
+    const double t = arrivals[head++];
+    if (head > 64 && head * 2 > arrivals.size()) {
+      arrivals.erase(arrivals.begin(),
+                     arrivals.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+    return t;
+  }
+};
+
+/// Collective cost on the dedicated tree network (paper §2.4): up the
+/// log2(P)-depth combine tree and back down, plus payload serialization at
+/// tree bandwidth.
+inline double collective_cost(std::uint64_t bytes, int nranks,
+                              const ReplayParams& params) {
+  const int levels =
+      nranks <= 1 ? 0 : static_cast<int>(std::ceil(std::log2(nranks)));
+  return 2.0 * levels * params.tree_hop_latency_s +
+         static_cast<double>(bytes) / params.tree_bandwidth_bps;
+}
+
+/// Reject events that index outside the trace's rank space. Traces are
+/// runtime data — possibly a hand-edited load_text file — so a malformed
+/// event is an Error, not a caller contract violation.
+inline void validate_events(const trace::Trace& trace) {
+  const int n = trace.nranks();
+  for (const trace::CommEvent& e : trace.events()) {
+    if (e.rank < 0 || e.rank >= n) {
+      throw Error("replay: event rank " + std::to_string(e.rank) +
+                  " outside [0, " + std::to_string(n) + ")");
+    }
+    if (e.kind != trace::EventKind::kCollective &&
+        (e.peer < 0 || e.peer >= n)) {
+      throw Error("replay: point-to-point peer " + std::to_string(e.peer) +
+                  " outside [0, " + std::to_string(n) + ") on rank " +
+                  std::to_string(e.rank));
+    }
+  }
+}
+
+/// Populate the network's route caches for every ordered pair the trace
+/// sends on, so replay-time transfer()/switch_hops() queries are pure
+/// lookups. The parallel replay requires this (shards share one network
+/// for read-only hop queries); the serial replay does it too so both paths
+/// exercise the same network state.
+inline void prewarm_routes(const trace::Trace& trace, Network& net) {
+  for (const trace::CommEvent& e : trace.events()) {
+    if (e.kind == trace::EventKind::kSend && e.peer != e.rank && e.peer >= 0) {
+      net.prewarm_route(e.rank, e.peer);
+    }
+  }
+}
+
+}  // namespace hfast::netsim::detail

@@ -1,0 +1,440 @@
+#include "hfast/netsim/replay_parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hfast/util/assert.hpp"
+#include "replay_detail.hpp"
+
+namespace hfast::netsim {
+
+namespace {
+
+using detail::ChannelFifo;
+using detail::RankState;
+using trace::CommEvent;
+using trace::EventKind;
+
+/// One cross-rank message awaiting sequencing: the sender already advanced
+/// past it (its only local effect is the send overhead); the sequencer
+/// owes the network a transfer() at `start` and the receiver an arrival.
+struct PendingTransfer {
+  double start = 0.0;  ///< injection time (sender clock after send overhead)
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;  ///< sender-local op position, for stable ties
+
+  /// The serial replay's transfer order: (injection, rank, op).
+  bool operator<(const PendingTransfer& o) const {
+    if (start != o.start) return start < o.start;
+    if (src != o.src) return src < o.src;
+    return seq < o.seq;
+  }
+};
+
+/// A sequenced arrival headed back to the receiver's shard.
+struct Delivery {
+  int receiver = -1;
+  int sender = -1;
+  double arrival = 0.0;
+};
+
+/// Bounded SPSC submission queue, one per worker shard (the sequencer is
+/// the single consumer of all of them). push() blocks on capacity —
+/// backpressure, not loss — which is deadlock-free because the sequencer
+/// drains concurrently with worker execution and never blocks on a full
+/// queue itself.
+class TransferQueue {
+ public:
+  explicit TransferQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(const PendingTransfer& t) {
+    std::unique_lock lk(m_);
+    not_full_.wait(lk, [&] { return buf_.size() < capacity_; });
+    buf_.push_back(t);
+    lk.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Producer: this round's submissions are complete.
+  void producer_done() {
+    {
+      std::lock_guard lk(m_);
+      done_ = true;
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Consumer: re-arm for the next round (call between rounds only —
+  /// i.e. while the producer is parked at the round gate).
+  void reset_round() {
+    std::lock_guard lk(m_);
+    done_ = false;
+  }
+
+  /// Consumer: block until submissions are available or the round is
+  /// complete; append whatever is there. Returns false once the producer
+  /// finished the round and the queue is empty.
+  bool drain(std::vector<PendingTransfer>& out) {
+    std::unique_lock lk(m_);
+    not_empty_.wait(lk, [&] { return !buf_.empty() || done_; });
+    if (buf_.empty()) return false;
+    out.insert(out.end(), buf_.begin(), buf_.end());
+    buf_.clear();
+    lk.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<PendingTransfer> buf_;
+  std::size_t capacity_;
+  bool done_ = false;
+};
+
+/// Round barrier: workers park here after quiescing; the sequencer
+/// releases the next round (or tells everyone to exit). The gate's mutex
+/// is also the happens-before edge that publishes the inboxes the
+/// sequencer filled to the workers that read them.
+class RoundGate {
+ public:
+  /// Worker side: wait for a generation newer than `seen`, adopt it.
+  /// Returns false when the sequencer ordered shutdown.
+  bool await(std::uint64_t& seen) {
+    std::unique_lock lk(m_);
+    cv_.wait(lk, [&] { return generation_ > seen || exit_; });
+    seen = generation_;
+    return !exit_;
+  }
+
+  /// Sequencer side: start the next round, or shut the workers down.
+  void release(bool exit) {
+    {
+      std::lock_guard lk(m_);
+      if (exit) {
+        exit_ = true;
+      } else {
+        ++generation_;
+      }
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+  bool exit_ = false;
+};
+
+struct ChannelSlot {
+  ChannelFifo fifo;
+  bool waiting = false;  ///< the receiver is blocked on exactly this channel
+};
+
+/// One shard: a contiguous rank range [first, last) with its rank states
+/// and receive channels. Channels are sparse maps keyed by sender — at
+/// P=4096 a flat P^2 table would dwarf the trace itself, and the paper's
+/// whole point is that each rank talks to a few dozen partners (TDC << P).
+class Shard {
+ public:
+  void init(int first, int last) {
+    first_ = first;
+    ranks_.resize(static_cast<std::size_t>(last - first));
+    channels_.resize(ranks_.size());
+  }
+
+  RankState& rank(int global) {
+    return ranks_[static_cast<std::size_t>(global - first_)];
+  }
+  const std::vector<RankState>& ranks() const { return ranks_; }
+  std::vector<Delivery>& inbox() { return inbox_; }
+  int finished_ranks() const { return finished_; }
+
+  /// Run one round: fold in the deliveries the sequencer routed to us,
+  /// then advance every runnable rank until it blocks or finishes. Ranks
+  /// only interact through sequenced transfers, so a single in-order pass
+  /// reaches shard-wide quiescence.
+  template <typename Submit>
+  void run_round(int nranks, const ReplayParams& params,
+                 const Submit& submit) {
+    for (const Delivery& d : inbox_) {
+      ChannelSlot& slot = channel(d.receiver, d.sender);
+      slot.fifo.push(d.arrival);
+      if (slot.waiting) {
+        slot.waiting = false;
+        rank(d.receiver).blocked = false;
+      }
+    }
+    inbox_.clear();
+
+    finished_ = 0;
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+      RankState& rs = ranks_[i];
+      if (!rs.blocked) run_rank(rs, nranks, params, submit);
+      if (rs.pos >= rs.ops.size()) ++finished_;
+    }
+  }
+
+ private:
+  ChannelSlot& channel(int receiver, int sender) {
+    return channels_[static_cast<std::size_t>(receiver - first_)][sender];
+  }
+
+  /// Advance one rank to quiescence. Statement-for-statement the serial
+  /// replay's event handling, except that a cross-rank send submits a
+  /// PendingTransfer instead of touching the network: the sender's clock
+  /// never depends on its own transfer result, so it can run ahead.
+  template <typename Submit>
+  void run_rank(RankState& rs, int nranks, const ReplayParams& params,
+                const Submit& submit) {
+    while (rs.pos < rs.ops.size()) {
+      const CommEvent& e = rs.ops[rs.pos];
+      switch (e.kind) {
+        case EventKind::kSend: {
+          rs.clock += params.send_overhead_s;
+          if (e.peer != e.rank && e.peer >= 0) {
+            submit(PendingTransfer{rs.clock, e.rank, e.peer, e.bytes,
+                                   static_cast<std::uint64_t>(rs.pos)});
+          } else {
+            // Self-send: arrival is the injection time, no network
+            // traversal, no message stats — exactly the serial path.
+            channel(e.rank, e.rank).fifo.push(rs.clock);
+          }
+          ++rs.pos;
+          break;
+        }
+        case EventKind::kRecv: {
+          ChannelSlot& slot = channel(e.rank, e.peer);
+          if (slot.fifo.empty()) {
+            rs.blocked = true;
+            slot.waiting = true;
+            return;
+          }
+          const double arrival = slot.fifo.pop();
+          if (arrival > rs.clock) {
+            rs.recv_wait += arrival - rs.clock;
+            rs.clock = arrival;
+          }
+          rs.clock += params.recv_overhead_s;
+          ++rs.pos;
+          break;
+        }
+        case EventKind::kCollective: {
+          rs.clock += params.send_overhead_s +
+                      detail::collective_cost(e.bytes, nranks, params);
+          ++rs.pos;
+          break;
+        }
+      }
+    }
+  }
+
+  int first_ = 0;
+  std::vector<RankState> ranks_;
+  std::vector<std::map<int, ChannelSlot>> channels_;
+  std::vector<Delivery> inbox_;
+  int finished_ = 0;
+};
+
+}  // namespace
+
+ReplayResult parallel_replay(const trace::Trace& trace, Network& net,
+                             const ReplayParams& params,
+                             const ParallelReplayOptions& options) {
+  HFAST_EXPECTS_MSG(trace.nranks() <= net.num_endpoints(),
+                    "network too small for the trace");
+  HFAST_EXPECTS_MSG(options.shards >= 0,
+                    "parallel_replay: negative shard count");
+  HFAST_EXPECTS_MSG(options.channel_capacity > 0,
+                    "parallel_replay: channel capacity must be positive");
+  detail::validate_events(trace);
+
+  // Conservative lookahead: a transfer injected at t cannot deliver before
+  // t + min link latency, and the woken receiver cannot inject a new
+  // transfer before paying the send overhead on top. With zero lookahead
+  // the window never admits more than the front event and ordering ties at
+  // equal times cannot be ruled out, so conservative partitioning cannot
+  // run ahead of the sequencer — use the serial algorithm directly.
+  const double lookahead =
+      net.min_transfer_latency_s() + params.send_overhead_s;
+  if (lookahead <= 0.0) return replay(trace, net, params);
+
+  net.reset();
+  detail::prewarm_routes(trace, net);
+
+  const int n = trace.nranks();
+  int nshards = options.shards;
+  if (nshards == 0) {
+    nshards = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  nshards = std::clamp(nshards, 1, std::max(1, n));
+
+  std::vector<Shard> shards(static_cast<std::size_t>(nshards));
+  std::vector<int> shard_of(static_cast<std::size_t>(n));
+  for (int s = 0; s < nshards; ++s) {
+    const int first = static_cast<int>(static_cast<long long>(s) * n / nshards);
+    const int last =
+        static_cast<int>(static_cast<long long>(s + 1) * n / nshards);
+    shards[static_cast<std::size_t>(s)].init(first, last);
+    for (int r = first; r < last; ++r) {
+      shard_of[static_cast<std::size_t>(r)] = s;
+    }
+  }
+  for (const CommEvent& e : trace.events()) {
+    shards[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(e.rank)])]
+        .rank(e.rank)
+        .ops.push_back(e);
+  }
+
+  // Shard 0 runs on this thread, interleaved with sequencing; its
+  // submissions land in a plain vector. Shards 1..K-1 get a thread and a
+  // bounded queue each.
+  std::vector<std::unique_ptr<TransferQueue>> queues;
+  for (int s = 1; s < nshards; ++s) {
+    queues.push_back(std::make_unique<TransferQueue>(options.channel_capacity));
+  }
+  RoundGate gate;
+  std::vector<std::exception_ptr> worker_errors(
+      static_cast<std::size_t>(nshards > 0 ? nshards - 1 : 0));
+  std::vector<std::thread> workers;
+  workers.reserve(queues.size());
+  for (int s = 1; s < nshards; ++s) {
+    Shard& shard = shards[static_cast<std::size_t>(s)];
+    TransferQueue& queue = *queues[static_cast<std::size_t>(s - 1)];
+    std::exception_ptr& error = worker_errors[static_cast<std::size_t>(s - 1)];
+    workers.emplace_back([&shard, &queue, &gate, &error, n, &params] {
+      std::uint64_t seen = 0;
+      try {
+        for (;;) {
+          shard.run_round(n, params,
+                          [&queue](const PendingTransfer& t) { queue.push(t); });
+          queue.producer_done();
+          if (!gate.await(seen)) return;
+        }
+      } catch (...) {
+        // Keep the round protocol alive so the sequencer never hangs on a
+        // dead producer; it will notice the stored error and shut down.
+        error = std::current_exception();
+        queue.producer_done();
+        while (gate.await(seen)) queue.producer_done();
+      }
+    });
+  }
+
+  ReplayResult result;
+  double sum_latency = 0.0;
+  double sum_hops = 0.0;
+  std::vector<PendingTransfer> withheld;  // sorted, beyond past windows
+  std::vector<PendingTransfer> pending;
+  std::vector<PendingTransfer> merged;
+  bool stalled = false;
+  std::exception_ptr failure;
+
+  const auto apply_transfer = [&](const PendingTransfer& t) {
+    // Mirrors the serial send path bit for bit: same transfer call, same
+    // stat statements, applied in the same global order.
+    const double arrival = net.transfer(t.src, t.dst, t.bytes, t.start);
+    const double latency = arrival - t.start;
+    sum_latency += latency;
+    result.max_message_latency_s =
+        std::max(result.max_message_latency_s, latency);
+    const int hops = net.switch_hops(t.src, t.dst);
+    sum_hops += hops;
+    result.max_switch_hops = std::max(result.max_switch_hops, hops);
+    ++result.messages;
+    result.bytes += t.bytes;
+    return arrival;
+  };
+
+  for (;;) {
+    // Run our own shard to quiescence, then collect every other shard's
+    // submissions. Draining while workers still run is what makes the
+    // bounded queues deadlock-free.
+    pending.clear();
+    shards[0].run_round(
+        n, params, [&pending](const PendingTransfer& t) { pending.push_back(t); });
+    for (auto& q : queues) {
+      while (q->drain(pending)) {
+      }
+    }
+    for (std::exception_ptr& e : worker_errors) {
+      if (e) failure = e;
+    }
+    if (failure) break;
+
+    std::sort(pending.begin(), pending.end());
+    merged.clear();
+    merged.reserve(withheld.size() + pending.size());
+    std::merge(withheld.begin(), withheld.end(), pending.begin(),
+               pending.end(), std::back_inserter(merged));
+    withheld.swap(merged);
+
+    int finished = 0;
+    for (const Shard& s : shards) finished += s.finished_ranks();
+    if (finished == n) break;  // remaining withheld transfers flush below
+    if (withheld.empty()) {
+      stalled = true;
+      break;
+    }
+
+    // Conservative window: every transfer not yet submitted is downstream
+    // of some withheld delivery, so it starts no earlier than the current
+    // minimum start plus the lookahead. Everything strictly inside the
+    // window is final and can be sequenced.
+    const double window_end = withheld.front().start + lookahead;
+    std::size_t applied = 0;
+    while (applied < withheld.size() && withheld[applied].start < window_end) {
+      const PendingTransfer& t = withheld[applied];
+      const double arrival = apply_transfer(t);
+      shards[static_cast<std::size_t>(
+                 shard_of[static_cast<std::size_t>(t.dst)])]
+          .inbox()
+          .push_back({t.dst, t.src, arrival});
+      ++applied;
+    }
+    withheld.erase(withheld.begin(),
+                   withheld.begin() + static_cast<std::ptrdiff_t>(applied));
+
+    for (auto& q : queues) q->reset_round();
+    gate.release(/*exit=*/false);
+  }
+
+  gate.release(/*exit=*/true);
+  for (std::thread& w : workers) w.join();
+  if (failure) std::rethrow_exception(failure);
+  if (stalled) {
+    throw Error("replay: trace stalled — receive without a matching send");
+  }
+
+  // Unmatched sends: every rank finished but their transfers still owe the
+  // network (and the stats) their traversal, just as in the serial replay.
+  // No rank is left to wake, so deliveries are dropped.
+  for (const PendingTransfer& t : withheld) (void)apply_transfer(t);
+
+  for (const Shard& s : shards) {
+    for (const RankState& rs : s.ranks()) {
+      result.makespan_s = std::max(result.makespan_s, rs.clock);
+      result.total_recv_wait_s += rs.recv_wait;
+    }
+  }
+  if (result.messages > 0) {
+    result.avg_message_latency_s =
+        sum_latency / static_cast<double>(result.messages);
+    result.avg_switch_hops = sum_hops / static_cast<double>(result.messages);
+  }
+  return result;
+}
+
+}  // namespace hfast::netsim

@@ -144,46 +144,98 @@ void Trace::save_text(std::ostream& os) const {
 }
 
 Trace Trace::load_text(std::istream& is) {
-  std::string header;
-  std::getline(is, header);
+  // Trace files are data, frequently hand-edited; every parse or range
+  // failure is reported with the 1-based line it came from so the edit is
+  // findable, and nothing from the file is trusted as an array index or an
+  // allocation size before it is range-checked.
+  std::size_t line_no = 1;
+  const auto fail = [&line_no](const std::string& what) {
+    throw Error("trace: line " + std::to_string(line_no) + ": " + what);
+  };
+
+  std::string line;
+  std::getline(is, line);
   int nranks = 0;
   std::size_t nevents = 0, nregions = 0;
   {
-    std::istringstream hs(header);
+    std::istringstream hs(line);
     std::string magic, version, kv;
     hs >> magic >> version;
     if (magic != "hfast-trace" || version != "v1") {
-      throw Error("trace: bad header: " + header);
+      fail("bad header: " + line);
     }
-    while (hs >> kv) {
-      const auto eq = kv.find('=');
-      if (eq == std::string::npos) continue;
-      const std::string key = kv.substr(0, eq);
-      const std::string val = kv.substr(eq + 1);
-      if (key == "nranks") nranks = std::stoi(val);
-      if (key == "events") nevents = std::stoull(val);
-      if (key == "regions") nregions = std::stoull(val);
+    try {
+      while (hs >> kv) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "nranks") nranks = std::stoi(val);
+        if (key == "events") nevents = std::stoull(val);
+        if (key == "regions") nregions = std::stoull(val);
+      }
+    } catch (const std::exception&) {
+      fail("unparseable header field: " + kv);
     }
+    if (nranks < 0) fail("negative nranks");
   }
+
   std::vector<std::string> names(nregions);
   for (std::size_t i = 0; i < nregions; ++i) {
+    ++line_no;
+    if (!std::getline(is, line)) fail("truncated region table");
+    std::istringstream ls(line);
     std::string word, name;
     std::size_t idx = 0;
-    is >> word >> idx >> name;
-    if (word != "region" || idx >= nregions) throw Error("trace: bad region line");
+    if (!(ls >> word >> idx >> name) || word != "region" || idx >= nregions) {
+      fail("bad region line: " + line);
+    }
     names[idx] = (name == "<global>") ? "" : name;
   }
+
   std::vector<CommEvent> events;
-  events.reserve(nevents);
+  // The header's event count steers the loop, not the allocation: cap the
+  // speculative reserve so an absurd count cannot OOM before the stream
+  // runs dry and reports the real (truncated) length.
+  events.reserve(std::min(nevents, std::size_t{1} << 20));
   for (std::size_t i = 0; i < nevents; ++i) {
-    CommEvent e;
-    int kind = 0, call = 0, region = 0;
-    if (!(is >> e.rank >> e.op_index >> kind >> call >> e.peer >> e.bytes >>
-          region)) {
-      throw Error("trace: truncated event stream");
+    ++line_no;
+    if (!std::getline(is, line)) fail("truncated event stream");
+    std::istringstream ls(line);
+    long long rank = 0, peer = 0, op_index = 0, bytes = 0, region = 0;
+    int kind = 0, call = 0;
+    if (!(ls >> rank >> op_index >> kind >> call >> peer >> bytes >> region)) {
+      fail("unparseable event: " + line);
     }
+    if (rank < 0 || rank >= nranks) {
+      fail("event rank " + std::to_string(rank) + " outside [0, " +
+           std::to_string(nranks) + ")");
+    }
+    if (op_index < 0) fail("negative op index");
+    if (kind < 0 || kind > static_cast<int>(EventKind::kCollective)) {
+      fail("bad event kind " + std::to_string(kind));
+    }
+    if (call < 0 || call >= mpisim::kNumCallTypes) {
+      fail("bad call type " + std::to_string(call));
+    }
+    if (static_cast<EventKind>(kind) != EventKind::kCollective &&
+        (peer < 0 || peer >= nranks)) {
+      fail("point-to-point peer " + std::to_string(peer) + " outside [0, " +
+           std::to_string(nranks) + ")");
+    }
+    if (bytes < 0) fail("negative byte count");
+    if (region < 0 ||
+        region >= static_cast<long long>(std::max<std::size_t>(nregions, 1))) {
+      fail("region index " + std::to_string(region) + " outside the " +
+           std::to_string(nregions) + "-entry region table");
+    }
+    CommEvent e;
+    e.rank = static_cast<Rank>(rank);
+    e.op_index = static_cast<std::uint64_t>(op_index);
     e.kind = static_cast<EventKind>(kind);
     e.call = static_cast<CallType>(call);
+    e.peer = static_cast<Rank>(peer);
+    e.bytes = static_cast<std::uint64_t>(bytes);
     e.region = static_cast<std::uint16_t>(region);
     events.push_back(e);
   }

@@ -163,6 +163,37 @@ TEST(BatchRunner, ReplayBatchMatchesDirectReplay) {
   }
 }
 
+TEST(BatchRunner, ShardedReplayJobsMatchSerial) {
+  const auto r = run_experiment("gtc", 8);
+  const auto steady = r.trace.filter_region(apps::kSteadyRegion);
+  const topo::MeshTorus torus(topo::MeshTorus::balanced_dims(8, 3), true);
+  const netsim::LinkParams link;
+
+  netsim::DirectNetwork reference_net(torus, link);
+  const auto reference = netsim::replay(steady, reference_net, {});
+
+  std::vector<ReplayJob> jobs;
+  for (const int shards : {1, 2, 4, 7}) {
+    ReplayJob j;
+    j.label = "sharded replay K=" + std::to_string(shards);
+    j.trace = &steady;
+    j.shards = shards;
+    j.make_network = [&torus, link] {
+      return std::make_unique<netsim::DirectNetwork>(torus, link);
+    };
+    jobs.push_back(std::move(j));
+  }
+  // A 2-thread budget makes the K=4 and K=7 jobs wider than the budget:
+  // they must still run (alone), charged at their declared shard weight.
+  const auto batch = BatchRunner({.thread_budget = 2}).run_replays(jobs);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.results.size(), jobs.size());
+  for (const auto& res : batch.results) {
+    ASSERT_TRUE(res.has_value());
+    EXPECT_TRUE(*res == reference);
+  }
+}
+
 TEST(BatchRunner, ReplayJobErrorsAreIsolated) {
   const auto r = run_experiment("cactus", 8);
   const auto steady = r.trace.filter_region(apps::kSteadyRegion);

@@ -144,5 +144,65 @@ TEST(Network, SelfTransferRejected) {
   EXPECT_THROW(net.transfer(2, 2, 100, 0.0), ContractViolation);
 }
 
+TEST(Network, PrewarmedSwitchHopsNeedNoMutation) {
+  // After prewarm_route(), the const switch_hops() query is a pure cache
+  // lookup; un-prewarmed pairs recompute and must agree with the cached
+  // answer once the pair is warmed.
+  graph::CommGraph g(6);
+  g.add_message(0, 1, 8192);
+  g.add_message(1, 2, 8192);
+  g.add_message(2, 3, 8192);
+  g.add_message(3, 4, 8192);
+  g.add_message(0, 5, 8192);
+  const auto prov = core::provision_greedy(g);
+  FabricNetwork net(prov.fabric, simple_link(), 10e-6);
+  const FabricNetwork& cnet = net;
+  const int n = net.num_endpoints();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const int cold = cnet.switch_hops(s, d);  // recomputed, not memoized
+      net.prewarm_route(s, d);
+      EXPECT_EQ(cnet.switch_hops(s, d), cold) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Network, MinTransferLatencyBoundsObservedLatency) {
+  // The lookahead bound: no transfer may complete sooner after injection
+  // than min_transfer_latency_s() claims, on any model.
+  const topo::MeshTorus torus({2, 3}, true);
+  DirectNetwork direct(torus, simple_link());
+  const topo::FatTree tree(16, 8);
+  FatTreeNetwork fat(tree, simple_link());
+  graph::CommGraph g(4);
+  g.add_message(0, 1, 8192);
+  g.add_message(2, 3, 8192);
+  g.add_message(0, 3, 8192);
+  const auto prov = core::provision_greedy(g);
+  FabricNetwork fabric(prov.fabric, simple_link(), 10e-6);
+  for (Network* net : {static_cast<Network*>(&direct),
+                       static_cast<Network*>(&fat),
+                       static_cast<Network*>(&fabric)}) {
+    const double bound = net->min_transfer_latency_s();
+    EXPECT_GT(bound, 0.0) << net->name();
+    for (int d = 1; d < net->num_endpoints(); ++d) {
+      net->reset();
+      const double arrival = net->transfer(0, d, 1, 0.0);
+      EXPECT_GE(arrival, bound) << net->name() << " 0->" << d;
+    }
+  }
+}
+
+TEST(Network, ResetClearsOccupancyButKeepsRoutes) {
+  topo::FullyConnected fcn(3);
+  DirectNetwork net(fcn, simple_link());
+  const double first = net.transfer(0, 1, 1000000, 0.0);
+  const double congested = net.transfer(0, 1, 1000000, 0.0);
+  EXPECT_GT(congested, first);
+  net.reset();
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 1000000, 0.0), first);
+}
+
 }  // namespace
 }  // namespace hfast::netsim

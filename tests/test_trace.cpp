@@ -101,6 +101,56 @@ TEST(Trace, LoadRejectsGarbage) {
   EXPECT_THROW(Trace::load_text(ss), Error);
 }
 
+/// Expect load_text to reject `text` with an Error naming `line`.
+void expect_load_error(const std::string& text, int line,
+                       const std::string& needle) {
+  std::stringstream ss(text);
+  try {
+    (void)Trace::load_text(ss);
+    FAIL() << "accepted malformed trace: " << text;
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+  }
+}
+
+TEST(Trace, LoadRejectsMalformedFieldsWithLineNumbers) {
+  const std::string header = "hfast-trace v1 nranks=2 events=1 regions=1\n";
+  const std::string region = "region 0 <global>\n";
+  // Event line layout: rank op_index kind call peer bytes region.
+  expect_load_error(header + region + "5 0 0 0 1 100 0\n", 3, "rank 5");
+  expect_load_error(header + region + "-1 0 0 0 1 100 0\n", 3, "rank -1");
+  expect_load_error(header + region + "0 0 0 0 7 100 0\n", 3, "peer 7");
+  expect_load_error(header + region + "0 0 0 0 -1 100 0\n", 3, "peer -1");
+  expect_load_error(header + region + "0 0 9 0 1 100 0\n", 3, "kind");
+  expect_load_error(header + region + "0 0 0 99 1 100 0\n", 3, "call type");
+  expect_load_error(header + region + "0 0 0 0 1 -100 0\n", 3, "byte count");
+  expect_load_error(header + region + "0 0 0 0 1 100 3\n", 3, "region index");
+  expect_load_error(header + region + "0 0 0 0 1 nan 0\n", 3, "unparseable");
+  expect_load_error(header + region, 3, "truncated event stream");
+  expect_load_error("hfast-trace v1 nranks=-2 events=0 regions=0\n", 1,
+                    "negative nranks");
+  expect_load_error("hfast-trace v1 nranks=zz events=0 regions=0\n", 1,
+                    "unparseable header field");
+  expect_load_error(header + "not-a-region 0 x\n" + "0 0 0 0 1 100 0\n", 2,
+                    "bad region line");
+}
+
+TEST(Trace, LoadAllowsCollectivePeerSentinel) {
+  // Collectives carry the kNoPeer sentinel; only point-to-point peers are
+  // range-checked.
+  std::stringstream ss(
+      "hfast-trace v1 nranks=2 events=1 regions=1\n"
+      "region 0 <global>\n"
+      "0 0 2 3 -2 64 0\n");
+  const auto t = Trace::load_text(ss);
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].kind, EventKind::kCollective);
+  EXPECT_EQ(t.events()[0].peer, mpisim::kNoPeer);
+}
+
 TEST(Window, SplitsStreamsEvenly) {
   TraceRecorder r0(0), r1(1);
   // Rank 0: phase A talks to 1 with big messages, phase B small.
