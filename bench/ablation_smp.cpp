@@ -1,68 +1,97 @@
 /// \file ablation_smp.cpp
 /// The paper's §5 deferred question: what do SMP (multi-core) nodes do to
-/// the interconnect requirements? Tasks are packed onto nodes either
-/// naively (rank order, what a topology-blind scheduler does) or by
-/// traffic affinity (bandwidth localization); the interconnect then sees
-/// the quotient graph. Reports thresholded TDC, backplane-absorbed
-/// traffic, and the greedy HFAST block pool versus cores per node.
+/// the interconnect requirements? Since SMP packing became a first-class
+/// provisioning mode (core::SmpConfig on ExperimentConfig), this ablation
+/// is a thin driver: one experiment per (app, cores, packing) cell, with
+/// every node-level artifact — quotient TDC, backplane-absorbed traffic,
+/// and the greedy HFAST block pool — read off ExperimentResult::smp.
+/// The full six-app table with CI invariants lives in smp_sweep.
+///
+/// Usage: ablation_smp [--engine threads|fibers] [--threads N]
+///                     [--cache-dir DIR] [--no-cache] [--cache-verify]
 
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
-#include "hfast/analysis/experiment.hpp"
-#include "hfast/core/provision.hpp"
-#include "hfast/graph/quotient.hpp"
+#include "hfast/analysis/batch.hpp"
+#include "hfast/store/cli.hpp"
 #include "hfast/util/format.hpp"
 #include "hfast/util/table.hpp"
 
 using namespace hfast;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kRanks = 64;
+  analysis::BatchOptions opts;
+  mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  store::CacheCli cache;
+  for (int i = 1; i < argc; ++i) {
+    if (cache.consume(argc, argv, i)) continue;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.thread_budget = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = mpisim::parse_engine(argv[++i]);
+    }
+  }
+  const auto cache_store = cache.open(std::cerr);
+  opts.result_store = cache_store.get();
+
+  std::vector<analysis::ExperimentConfig> configs;
+  for (const char* app : {"cactus", "lbmhd", "superlu", "pmemd"}) {
+    for (int cores : {1, 2, 4, 8}) {
+      for (core::SmpPacking packing :
+           {core::SmpPacking::kRankOrder, core::SmpPacking::kAffinity}) {
+        if (cores == 1 && packing != core::SmpPacking::kRankOrder) continue;
+        analysis::ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.nranks = kRanks;
+        cfg.engine = engine;
+        cfg.capture_trace = false;
+        cfg.smp = {cores, packing};
+        configs.push_back(cfg);
+      }
+    }
+  }
+
+  const auto batch = analysis::BatchRunner(opts).run(configs);
+  for (const auto& e : batch.errors) {
+    std::cerr << "experiment failed: " << e.job << ": " << e.message << "\n";
+  }
+  if (!batch.ok()) return EXIT_FAILURE;
+
   util::print_banner(std::cout,
                      "SMP aggregation (P=64 tasks): interconnect-visible TDC "
                      "and HFAST blocks vs cores per node");
   util::Table t({"App", "Cores/node", "Packing", "Nodes", "TDC@2KB (max,avg)",
                  "Backplane traffic", "HFAST blocks"});
-  for (const char* app : {"cactus", "lbmhd", "superlu", "pmemd"}) {
-    const auto r = analysis::run_experiment(app, kRanks);
-    for (int cores : {1, 2, 4, 8}) {
-      struct Packing {
-        const char* name;
-        graph::QuotientResult q;
-      };
-      std::vector<Packing> packings;
-      packings.push_back({"rank-order", graph::quotient_by_blocks(r.comm_graph, cores)});
-      if (cores > 1) {
-        packings.push_back(
-            {"affinity", graph::quotient_by_affinity(r.comm_graph, cores)});
-      }
-      for (const auto& p : packings) {
-        const auto tdc = graph::tdc(p.q.graph, graph::kBdpCutoffBytes);
-        const auto prov = core::provision_greedy(p.q.graph);
-        std::ostringstream td;
-        td << tdc.max << ", " << std::fixed << std::setprecision(1) << tdc.avg;
-        const double frac =
-            r.comm_graph.total_bytes() == 0
-                ? 0.0
-                : 100.0 * static_cast<double>(p.q.internal_bytes) /
-                      static_cast<double>(r.comm_graph.total_bytes());
-        t.row()
-            .add(app)
-            .add(cores)
-            .add(p.name)
-            .add(p.q.graph.num_nodes())
-            .add(td.str())
-            .add(util::percent_label(frac))
-            .add(prov.stats.num_blocks);
-      }
-    }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = *batch.results[i];
+    const auto& smp = r.smp;
+    std::ostringstream td;
+    td << smp.node_tdc_max << ", " << std::fixed << std::setprecision(1)
+       << smp.node_tdc_avg;
+    const double frac =
+        r.comm_graph.total_bytes() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(smp.backplane_bytes) /
+                  static_cast<double>(r.comm_graph.total_bytes());
+    t.row()
+        .add(configs[i].app)
+        .add(configs[i].smp.cores_per_node)
+        .add(std::string(core::packing_name(configs[i].smp.packing)))
+        .add(smp.num_nodes)
+        .add(td.str())
+        .add(util::percent_label(frac))
+        .add(smp.provision.num_blocks);
   }
   t.print(std::cout);
   std::cout << "\nAffinity packing absorbs stencil traffic on the backplane "
                "(cactus/lbmhd) and\nshrinks the block pool; all-to-all codes "
                "(pmemd) keep node-level TDC = nodes-1\nregardless — SMP "
                "aggregation does not rescue case-iv codes.\n";
+  store::CacheCli::report(std::cerr, cache_store.get());
   return 0;
 }

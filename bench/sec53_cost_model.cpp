@@ -24,13 +24,23 @@ using namespace hfast;
 
 int main(int argc, char** argv) {
   // Usage: sec53_cost_model [--engine threads|fibers]
+  //                         [--cores-per-node C]
+  //                         [--packing rank-order|affinity]
   //                         [--cache-dir DIR] [--no-cache] [--cache-verify]
+  // With --cores-per-node > 1 the per-application section prices the
+  // node-level quotient graph the SMP packing leaves on the interconnect
+  // (the block pool the paper's §5 simplification hides).
   mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  core::SmpConfig smp;
   store::CacheCli cache;
   for (int i = 1; i < argc; ++i) {
     if (cache.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine = mpisim::parse_engine(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cores-per-node") == 0 && i + 1 < argc) {
+      smp.cores_per_node = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--packing") == 0 && i + 1 < argc) {
+      smp.packing = core::parse_packing(argv[++i]);
     }
   }
   const auto cache_store = cache.open(std::cerr);
@@ -77,6 +87,7 @@ int main(int argc, char** argv) {
       cfg.app = app;
       cfg.nranks = p;
       cfg.engine = engine;
+      cfg.smp = smp;
       configs.push_back(cfg);
     }
   }
@@ -92,19 +103,21 @@ int main(int argc, char** argv) {
     const int p = configs[i].nranks;
     const std::string& app = configs[i].app;
     const auto& r = *batch.results[i];
-    const auto t = graph::tdc(r.comm_graph, graph::kBdpCutoffBytes);
-    core::ProvisionParams pp;
-    pp.block_size = t.max < 8 ? 8 : 16;  // size blocks to the workload
-    const auto prov = core::provision_greedy(r.comm_graph, pp);
+    // run_experiment already sized and provisioned the interconnect-visible
+    // graph (the task graph itself at cores_per_node = 1): blocks sized to
+    // the workload, counts from the greedy provisioning of r.smp.node_graph.
+    const std::uint64_t packet_ports =
+        static_cast<std::uint64_t>(r.smp.provision.num_blocks) *
+        static_cast<std::uint64_t>(r.smp.block_size);
     const topo::FatTree ft8(p, 8);
     const topo::FatTree ft16(p, 16);
     ct.row()
         .add(p)
         .add(app)
-        .add(t.max)
-        .add(pp.block_size)
-        .add(prov.stats.num_blocks)
-        .add(static_cast<double>(prov.fabric.packet_ports()) / p, 2)
+        .add(r.smp.node_tdc_max)
+        .add(r.smp.block_size)
+        .add(r.smp.provision.num_blocks)
+        .add(static_cast<double>(packet_ports) / p, 2)
         .add(ft8.ports_per_processor())
         .add(ft16.ports_per_processor());
   }

@@ -4,6 +4,7 @@
 /// command). The experiments run as one parallel batch.
 ///
 /// Usage: profile_apps [nranks] [--threads N] [--engine threads|fibers]
+///                     [--cores-per-node C] [--packing rank-order|affinity]
 ///                     [--cache-dir DIR] [--no-cache] [--cache-verify]
 ///   nranks       concurrency per application (default 64)
 ///   --threads N  live-thread budget for the batch engine
@@ -11,6 +12,10 @@
 ///   --engine E   execution engine per experiment (default threads);
 ///                fibers runs each job single-threaded and deterministic —
 ///                the practical choice for P=1024/4096
+///   --cores-per-node C  SMP provisioning mode: pack C tasks per node and
+///                size the fabric from the node-level quotient graph
+///                (default 1 = the classic per-task pipeline)
+///   --packing P  task-to-node packing policy (default rank-order)
 ///   --cache-*    durable result store (see store::CacheCli::help()):
 ///                completed experiments persist as they finish, and re-runs
 ///                load hits instead of recomputing
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
   int nranks = 64;
   analysis::BatchOptions opts;
   mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
+  core::SmpConfig smp;
   store::CacheCli cache;
   for (int i = 1; i < argc; ++i) {
     if (cache.consume(argc, argv, i)) continue;
@@ -40,6 +46,10 @@ int main(int argc, char** argv) {
       opts.thread_budget = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine = mpisim::parse_engine(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cores-per-node") == 0 && i + 1 < argc) {
+      smp.cores_per_node = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--packing") == 0 && i + 1 < argc) {
+      smp.packing = core::parse_packing(argv[++i]);
     } else {
       nranks = std::atoi(argv[i]);
     }
@@ -60,7 +70,10 @@ int main(int argc, char** argv) {
   auto configs = analysis::sweep_configs(names, {nranks}, {1}, engine);
   // The tables below reduce profiles and graphs only; skipping trace
   // capture keeps the wide-P sweeps (1024+) within memory.
-  for (auto& c : configs) c.capture_trace = false;
+  for (auto& c : configs) {
+    c.capture_trace = false;
+    c.smp = smp;
+  }
 
   const analysis::BatchRunner runner(opts);
   const auto batch = runner.run(configs);
@@ -84,6 +97,20 @@ int main(int argc, char** argv) {
 
   util::print_banner(std::cout, "Summary (paper Table 3 columns)");
   analysis::render_table3(rows).print(std::cout);
+
+  if (smp.aggregates()) {
+    std::vector<analysis::SmpSweepRow> smp_rows;
+    for (const auto& r : batch.results) {
+      if (r.has_value()) smp_rows.push_back(analysis::smp_sweep_row(*r));
+    }
+    util::print_banner(std::cout,
+                       "SMP provisioning (" +
+                           std::to_string(smp.cores_per_node) +
+                           " cores/node, " +
+                           std::string(core::packing_name(smp.packing)) +
+                           " packing)");
+    analysis::render_smp_sweep(smp_rows).print(std::cout);
+  }
   std::cout << "batch: " << names.size() << " experiments ("
             << mpisim::engine_name(engine) << " engine) in "
             << batch.wall_seconds << " s under a "

@@ -5,6 +5,7 @@
 ///
 /// Usage: replay_traces [nranks] [--app NAME] [--engine threads|fibers]
 ///                      [--network fcn|torus|fattree|hfast]
+///                      [--cores-per-node C] [--packing rank-order|affinity]
 ///                      [--replay-threads K] [--verify] [--seed S]
 ///                      [--save FILE] [--load FILE]
 ///   nranks             trace concurrency (default 64)
@@ -12,6 +13,11 @@
 ///   --engine E         trace generation engine (default fibers — the only
 ///                      practical route to P=1024/4096)
 ///   --network M        replay substrate (default torus)
+///   --cores-per-node C SMP mode for the hfast substrate: pack C tasks per
+///                      node, provision the node-level quotient fabric, and
+///                      price co-resident traffic on the node backplane
+///                      (default 1 = the classic per-task fabric)
+///   --packing P        task-to-node packing policy (default rank-order)
 ///   --replay-threads K replay shards: 1 = serial algorithm, >1 = parallel
 ///                      partitioned-clock replay, 0 = hardware concurrency
 ///   --verify           also run the serial replay and require an exactly
@@ -31,6 +37,7 @@
 #include <string>
 
 #include "hfast/analysis/experiment.hpp"
+#include "hfast/analysis/smp.hpp"
 #include "hfast/core/provision.hpp"
 #include "hfast/graph/comm_graph.hpp"
 #include "hfast/netsim/replay.hpp"
@@ -50,10 +57,12 @@ struct NetworkBundle {
   std::unique_ptr<topo::MeshTorus> torus;
   std::unique_ptr<topo::FatTree> tree;
   std::optional<core::Provisioned> prov;
+  std::optional<analysis::SmpNetworkBundle> smp;
   std::unique_ptr<netsim::Network> net;
 };
 
-NetworkBundle build_network(const std::string& kind, const trace::Trace& t) {
+NetworkBundle build_network(const std::string& kind, const trace::Trace& t,
+                            const core::SmpConfig& smp) {
   const int n = t.nranks();
   const netsim::LinkParams link;
   NetworkBundle b;
@@ -77,9 +86,20 @@ NetworkBundle build_network(const std::string& kind, const trace::Trace& t) {
         g.add_message(e.rank, e.peer, e.bytes);
       }
     }
-    b.prov = core::provision_greedy(g, {.cutoff = 0});
-    b.net = std::make_unique<netsim::FabricNetwork>(b.prov->fabric, link,
-                                                    50e-9);
+    if (smp.aggregates()) {
+      // SMP mode: pack tasks onto nodes, provision the quotient fabric,
+      // and replay with co-resident traffic priced on the node backplane.
+      b.smp = analysis::make_smp_network(g, smp, link);
+      std::cout << "smp: " << smp.cores_per_node << " cores/node ("
+                << core::packing_name(smp.packing) << " packing), "
+                << b.smp->net->num_nodes() << " nodes, backplane absorbs "
+                << b.smp->backplane_bytes << " bytes\n";
+      b.net = std::move(b.smp->net);
+    } else {
+      b.prov = core::provision_greedy(g, {.cutoff = 0});
+      b.net = std::make_unique<netsim::FabricNetwork>(b.prov->fabric, link,
+                                                      50e-9);
+    }
   } else {
     throw Error("unknown network model: " + kind +
                 " (expected fcn|torus|fattree|hfast)");
@@ -107,6 +127,7 @@ int main(int argc, char** argv) {
   std::string network = "torus";
   std::string save_file, load_file;
   mpisim::EngineKind engine = mpisim::EngineKind::kFibers;
+  core::SmpConfig smp;
   int replay_threads = 0;
   bool verify = false;
   std::uint64_t seed = 1;
@@ -117,6 +138,10 @@ int main(int argc, char** argv) {
       engine = mpisim::parse_engine(argv[++i]);
     } else if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
       network = argv[++i];
+    } else if (std::strcmp(argv[i], "--cores-per-node") == 0 && i + 1 < argc) {
+      smp.cores_per_node = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--packing") == 0 && i + 1 < argc) {
+      smp.packing = core::parse_packing(argv[++i]);
     } else if (std::strcmp(argv[i], "--replay-threads") == 0 && i + 1 < argc) {
       replay_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--verify") == 0) {
@@ -133,6 +158,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (smp.aggregates() && network != "hfast") {
+      throw Error("--cores-per-node > 1 requires --network hfast");
+    }
     trace::Trace t(0, {}, {});
     if (!load_file.empty()) {
       std::ifstream in(load_file);
@@ -169,7 +197,7 @@ int main(int argc, char** argv) {
       std::cout << "saved trace to " << save_file << "\n";
     }
 
-    auto bundle = build_network(network, t);
+    auto bundle = build_network(network, t, smp);
     netsim::Network& net = *bundle.net;
     std::cout << "replaying on " << net.name() << " with "
               << (replay_threads == 1 ? std::string("the serial replay")

@@ -1,17 +1,51 @@
 #include "hfast/analysis/experiment.hpp"
 
+#include <utility>
 #include <vector>
 
+#include "hfast/graph/quotient.hpp"
+#include "hfast/graph/tdc.hpp"
 #include "hfast/mpisim/runtime.hpp"
 #include "hfast/util/assert.hpp"
 
 namespace hfast::analysis {
+
+SmpArtifacts build_smp_artifacts(const graph::CommGraph& tasks,
+                                 const core::SmpConfig& smp) {
+  HFAST_EXPECTS_MSG(smp.cores_per_node >= 1,
+                    "smp: cores_per_node must be at least 1");
+  auto q = smp.packing == core::SmpPacking::kAffinity
+               ? graph::quotient_by_affinity(tasks, smp.cores_per_node)
+               : graph::quotient_by_blocks(tasks, smp.cores_per_node);
+
+  SmpArtifacts out;
+  out.num_nodes = q.graph.num_nodes();
+  out.backplane_bytes = q.internal_bytes;
+  out.node_of_task = std::move(q.node_of_task);
+
+  const auto t = graph::tdc(q.graph, graph::kBdpCutoffBytes);
+  out.node_tdc_max = t.max;
+  out.node_tdc_avg = t.avg;
+
+  // The §5.3 sizing rule (as sec53_cost_model applies it to task graphs):
+  // 8-port blocks suffice below TDC 8, else the paper's 16-port blocks.
+  core::ProvisionParams pp;
+  pp.block_size = t.max < 8 ? 8 : 16;
+  out.block_size = pp.block_size;
+  out.provision = core::provision_greedy(q.graph, pp).stats;
+  out.node_graph = std::move(q.graph);
+  return out;
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   const apps::App& app = apps::find(config.app);
   if (!apps::valid_concurrency(app, config.nranks)) {
     throw Error("experiment: " + config.app + " does not support P=" +
                 std::to_string(config.nranks));
+  }
+  if (config.smp.cores_per_node < 1) {
+    throw Error("experiment: cores_per_node must be at least 1 (got " +
+                std::to_string(config.smp.cores_per_node) + ")");
   }
 
   mpisim::RuntimeConfig rt_cfg;
@@ -61,6 +95,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.all_regions = ipm::WorkloadProfile::merge(profile_ptrs, "");
   result.comm_graph = graph::CommGraph::from_profile(result.steady);
   result.comm_graph_all = graph::CommGraph::from_profile(result.all_regions);
+  result.smp = build_smp_artifacts(result.comm_graph, config.smp);
 
   if (config.capture_trace) {
     std::vector<const trace::TraceRecorder*> recorder_ptrs;

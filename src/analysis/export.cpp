@@ -87,6 +87,9 @@ struct JsonConfigField {
   void operator()(const char* name, const mpisim::EngineKind& v) {
     json.field(name, mpisim::engine_name(v));
   }
+  void operator()(const char* name, const core::SmpPacking& v) {
+    json.field(name, std::string(core::packing_name(v)));
+  }
 };
 
 }  // namespace
@@ -123,6 +126,17 @@ void write_experiment_json(std::ostream& os, const ExperimentResult& result) {
   const auto t = graph::tdc(result.comm_graph, graph::kBdpCutoffBytes);
   json.field("tdc_max_at_bdp_cutoff", t.max);
   json.field("tdc_avg_at_bdp_cutoff", t.avg);
+  json.end_object();
+
+  json.key("smp");
+  json.begin_object();
+  json.field("num_nodes", result.smp.num_nodes);
+  json.field("backplane_bytes", result.smp.backplane_bytes);
+  json.field("node_tdc_max", result.smp.node_tdc_max);
+  json.field("node_tdc_avg", result.smp.node_tdc_avg);
+  json.field("block_size", result.smp.block_size);
+  json.field("provisioned_blocks", result.smp.provision.num_blocks);
+  json.field("provisioned_trunks", result.smp.provision.num_trunks);
   json.end_object();
 
   json.field("trace_events",

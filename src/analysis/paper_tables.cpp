@@ -115,4 +115,51 @@ util::Table render_tdc_sweep(const ExperimentResult& result) {
   return t;
 }
 
+SmpSweepRow smp_sweep_row(const ExperimentResult& result,
+                          std::uint64_t cutoff) {
+  SmpSweepRow row;
+  row.code = result.config.app;
+  row.procs = result.config.nranks;
+  row.cores_per_node = result.config.smp.cores_per_node;
+  row.packing = result.config.smp.packing;
+  row.num_nodes = result.smp.num_nodes;
+  row.backplane_bytes = result.smp.backplane_bytes;
+  const std::uint64_t total = result.comm_graph.total_bytes();
+  row.backplane_percent =
+      total ? 100.0 * static_cast<double>(row.backplane_bytes) /
+                  static_cast<double>(total)
+            : 0.0;
+  row.task_tdc_max = graph::tdc(result.comm_graph, cutoff).max;
+  row.node_tdc_max = result.smp.node_tdc_max;
+  row.node_tdc_avg = result.smp.node_tdc_avg;
+  row.block_size = result.smp.block_size;
+  row.num_blocks = result.smp.provision.num_blocks;
+  row.num_trunks = result.smp.provision.num_trunks;
+  return row;
+}
+
+util::Table render_smp_sweep(const std::vector<SmpSweepRow>& rows) {
+  util::Table t({"Code", "Procs", "Cores/node", "Packing", "Nodes",
+                 "Backplane bytes", "% absorbed", "TDC task/node (max)",
+                 "node TDC avg", "Block size", "Blocks", "Trunks"});
+  for (const SmpSweepRow& r : rows) {
+    std::ostringstream tdc;
+    tdc << r.task_tdc_max << " / " << r.node_tdc_max;
+    t.row()
+        .add(r.code)
+        .add(r.procs)
+        .add(r.cores_per_node)
+        .add(std::string(core::packing_name(r.packing)))
+        .add(r.num_nodes)
+        .add(util::size_label(r.backplane_bytes))
+        .add(util::percent_label(r.backplane_percent, 1))
+        .add(tdc.str())
+        .add(r.node_tdc_avg, 1)
+        .add(r.block_size)
+        .add(r.num_blocks)
+        .add(r.num_trunks);
+  }
+  return t;
+}
+
 }  // namespace hfast::analysis

@@ -1,0 +1,35 @@
+#include "hfast/analysis/smp.hpp"
+
+#include <utility>
+
+#include "hfast/graph/quotient.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast::analysis {
+
+SmpNetworkBundle make_smp_network(const graph::CommGraph& tasks,
+                                  const core::SmpConfig& smp,
+                                  const netsim::LinkParams& circuit,
+                                  const netsim::LinkParams& backplane,
+                                  double block_overhead_s) {
+  HFAST_EXPECTS_MSG(smp.cores_per_node >= 1,
+                    "smp: cores_per_node must be at least 1");
+  auto q = smp.packing == core::SmpPacking::kAffinity
+               ? graph::quotient_by_affinity(tasks, smp.cores_per_node)
+               : graph::quotient_by_blocks(tasks, smp.cores_per_node);
+
+  SmpNetworkBundle b;
+  // Cutoff 0 keeps every quotient edge circuit-provisioned — replay needs
+  // routes for all cross-node traffic, not just the over-BDP partners the
+  // provisioning *stats* are scored on.
+  b.provisioned = std::make_unique<core::Provisioned>(
+      core::provision_greedy(q.graph, {.cutoff = 0}));
+  b.backplane_bytes = q.internal_bytes;
+  b.node_of_task = std::move(q.node_of_task);
+  b.net = std::make_unique<netsim::SmpFabricNetwork>(
+      b.provisioned->fabric, b.node_of_task, circuit, backplane,
+      block_overhead_s);
+  return b;
+}
+
+}  // namespace hfast::analysis

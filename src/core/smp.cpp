@@ -1,0 +1,26 @@
+#include "hfast/core/smp.hpp"
+
+#include <string>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::core {
+
+std::string_view packing_name(SmpPacking packing) noexcept {
+  switch (packing) {
+    case SmpPacking::kRankOrder:
+      return "rank-order";
+    case SmpPacking::kAffinity:
+      return "affinity";
+  }
+  return "unknown";
+}
+
+SmpPacking parse_packing(std::string_view name) {
+  if (name == "rank-order") return SmpPacking::kRankOrder;
+  if (name == "affinity") return SmpPacking::kAffinity;
+  throw Error("unknown SMP packing: " + std::string(name) +
+              " (expected rank-order|affinity)");
+}
+
+}  // namespace hfast::core

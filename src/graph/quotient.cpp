@@ -24,17 +24,12 @@ QuotientResult quotient_graph(const CommGraph& g,
       out.internal_bytes += stats.bytes;
       continue;
     }
-    // Preserve the thresholding semantics: the quotient edge's max message
-    // is the max over contributing task pairs; counts and bytes accumulate.
-    out.graph.add_message(a, b, stats.max_message, 1);
-    if (stats.messages > 1) {
-      const std::uint64_t rest_msgs = stats.messages - 1;
-      const std::uint64_t rest_bytes = stats.bytes - stats.max_message;
-      if (rest_msgs > 0 && rest_bytes > 0) {
-        // Spread the remaining volume at the average size.
-        out.graph.add_message(a, b, rest_bytes / rest_msgs, rest_msgs);
-      }
-    }
+    // Merge the task edge's stats verbatim: counts and bytes accumulate,
+    // the quotient edge's max message is the max over contributing task
+    // pairs (preserving the thresholding semantics), and — crucially for
+    // the cores_per_node = 1 parity contract — an identity mapping yields
+    // a graph field-identical to the input.
+    out.graph.add_edge_stats(a, b, stats);
   }
   return out;
 }
@@ -93,7 +88,11 @@ QuotientResult quotient_by_affinity(const CommGraph& g, int tasks_per_node) {
     --groups;
   }
 
-  // Pack groups into nodes: large groups first, first-fit by capacity.
+  // Pack groups into nodes: large groups first, first-fit by capacity. A
+  // group no node can hold whole (first-fit-decreasing is not a perfect
+  // packer when merged group sizes fragment the capacity) is split: its
+  // members spill into whichever nodes still have free slots. Total
+  // capacity is nodes * tasks_per_node >= n, so the spill always lands.
   std::vector<int> roots;
   for (int t = 0; t < n; ++t) {
     if (find(t) == t) roots.push_back(t);
@@ -106,6 +105,7 @@ QuotientResult quotient_by_affinity(const CommGraph& g, int tasks_per_node) {
   });
   std::vector<int> node_of_root(static_cast<std::size_t>(n), -1);
   std::vector<int> capacity(static_cast<std::size_t>(nodes), tasks_per_node);
+  std::vector<int> split_roots;
   for (int r : roots) {
     for (int nd = 0; nd < nodes; ++nd) {
       if (capacity[static_cast<std::size_t>(nd)] >=
@@ -116,16 +116,35 @@ QuotientResult quotient_by_affinity(const CommGraph& g, int tasks_per_node) {
         break;
       }
     }
-    HFAST_ASSERT_MSG(node_of_root[static_cast<std::size_t>(r)] != -1,
-                     "first-fit packing failed");
+    if (node_of_root[static_cast<std::size_t>(r)] == -1) split_roots.push_back(r);
   }
 
-  std::vector<int> map(static_cast<std::size_t>(n));
+  std::vector<int> map(static_cast<std::size_t>(n), -1);
   for (int t = 0; t < n; ++t) {
-    map[static_cast<std::size_t>(t)] =
-        node_of_root[static_cast<std::size_t>(find(t))];
+    const int root = find(t);
+    if (node_of_root[static_cast<std::size_t>(root)] != -1) {
+      map[static_cast<std::size_t>(t)] =
+          node_of_root[static_cast<std::size_t>(root)];
+    }
   }
-  return quotient_graph(g, map, nodes);
+  if (!split_roots.empty()) {
+    int nd = 0;
+    for (int t = 0; t < n; ++t) {
+      if (map[static_cast<std::size_t>(t)] != -1) continue;
+      while (capacity[static_cast<std::size_t>(nd)] == 0) ++nd;
+      map[static_cast<std::size_t>(t)] = nd;
+      --capacity[static_cast<std::size_t>(nd)];
+    }
+  }
+
+  auto affine = quotient_graph(g, map, nodes);
+  // The mode's contract (and the SmpProperties suite's invariant): affinity
+  // packing never localizes fewer bytes than the rank-order baseline. The
+  // heavy-edge heuristic almost always wins, but on index-local stencils it
+  // can fragment what rank order gets for free — fall back when it does.
+  auto naive = quotient_by_blocks(g, tasks_per_node);
+  if (naive.internal_bytes > affine.internal_bytes) return naive;
+  return affine;
 }
 
 }  // namespace hfast::graph

@@ -9,7 +9,11 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "hfast/apps/app.hpp"
+#include "hfast/core/provision.hpp"
+#include "hfast/core/smp.hpp"
 #include "hfast/graph/comm_graph.hpp"
 #include "hfast/ipm/report.hpp"
 #include "hfast/mpisim/engine.hpp"
@@ -29,7 +33,37 @@ struct ExperimentConfig {
   mpisim::EngineKind engine = mpisim::EngineKind::kThreads;
   /// Fiber scheduler seed; 0 derives it from `seed` (see RuntimeConfig).
   std::uint64_t sched_seed = 0;
+  /// SMP provisioning mode: tasks per node and packing policy. The packing
+  /// is post-simulation (it never perturbs the trace); it decides the
+  /// quotient graph the fabric is provisioned from. The default (1 core
+  /// per node) is exactly the pre-SMP pipeline.
+  core::SmpConfig smp;
 };
+
+/// Node-level artifacts of the SMP packing mode, derived from the
+/// steady-state task graph. At cores_per_node = 1 the packing is the
+/// identity: node_graph equals comm_graph field-for-field, no bytes are
+/// absorbed, and `provision` matches what greedy provisioning of the task
+/// graph reports (the SmpParity contract).
+struct SmpArtifacts {
+  int num_nodes = 0;                 ///< ceil(nranks / cores_per_node)
+  std::uint64_t backplane_bytes = 0; ///< traffic absorbed by node backplanes
+  int node_tdc_max = 0;              ///< thresholded TDC of the node graph
+  double node_tdc_avg = 0.0;
+  int block_size = 0;                ///< block size sized to node-level TDC
+  std::vector<int> node_of_task;     ///< task -> SMP node
+  /// Interconnect-visible quotient graph (what the fabric is sized for).
+  graph::CommGraph node_graph;
+  /// Greedy provisioning of the node graph at the BDP cutoff, blocks sized
+  /// to the node-level TDC (the §5.3 sizing rule).
+  core::ProvisionStats provision;
+};
+
+/// Derive the SMP artifacts for a task-level communication graph under a
+/// packing mode (the post-simulation half of run_experiment, reusable on
+/// decoded or trace-derived graphs).
+SmpArtifacts build_smp_artifacts(const graph::CommGraph& tasks,
+                                 const core::SmpConfig& smp);
 
 struct ExperimentResult {
   ExperimentConfig config;
@@ -45,6 +79,9 @@ struct ExperimentResult {
   graph::CommGraph comm_graph_all;
   /// Full event trace (empty when capture_trace is false).
   trace::Trace trace;
+  /// Node-level packing/provisioning view under config.smp (identity at
+  /// cores_per_node = 1).
+  SmpArtifacts smp;
 };
 
 /// Run the experiment; throws on invalid app/concurrency combinations.

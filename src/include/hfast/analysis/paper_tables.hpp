@@ -53,4 +53,28 @@ std::string render_tdc_chart(const std::string& app,
 /// The TDC sweep as a table (exact numbers behind the chart).
 util::Table render_tdc_sweep(const ExperimentResult& result);
 
+/// One row of the SMP provisioning sweep (the Table-3-style headline view
+/// of core::SmpConfig): how much traffic the node backplanes absorb and
+/// how far the switch-block pool shrinks as cores per node grow.
+struct SmpSweepRow {
+  std::string code;
+  int procs = 0;
+  int cores_per_node = 0;
+  core::SmpPacking packing = core::SmpPacking::kRankOrder;
+  int num_nodes = 0;
+  std::uint64_t backplane_bytes = 0;
+  double backplane_percent = 0.0;  ///< of the task graph's total bytes
+  int task_tdc_max = 0;            ///< thresholded TDC before packing
+  int node_tdc_max = 0;            ///< thresholded TDC after packing
+  double node_tdc_avg = 0.0;
+  int block_size = 0;
+  int num_blocks = 0;              ///< greedy block pool for the node graph
+  int num_trunks = 0;
+};
+
+SmpSweepRow smp_sweep_row(const ExperimentResult& result,
+                          std::uint64_t cutoff = graph::kBdpCutoffBytes);
+
+util::Table render_smp_sweep(const std::vector<SmpSweepRow>& rows);
+
 }  // namespace hfast::analysis

@@ -1,0 +1,42 @@
+#pragma once
+/// \file smp.hpp
+/// Analysis-layer factory for the SMP provisioning mode's replay substrate:
+/// pack a task graph onto nodes, provision a node-level fabric every
+/// communicating pair can route on, and wrap both in a
+/// netsim::SmpFabricNetwork whose intra-node traffic rides the backplane
+/// tier. At cores_per_node = 1 the bundle's network is structurally
+/// identical to the pre-SMP `provision_greedy(g, {.cutoff = 0})` +
+/// FabricNetwork pairing, so serial and parallel replay results are
+/// bit-identical (the SmpParity contract).
+
+#include <memory>
+
+#include "hfast/core/provision.hpp"
+#include "hfast/core/smp.hpp"
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/netsim/smp_network.hpp"
+
+namespace hfast::analysis {
+
+/// Owns the fabric the network borrows, so the network can outlive the
+/// construction scope safely (heap-held: the bundle stays movable without
+/// invalidating the network's fabric reference).
+struct SmpNetworkBundle {
+  /// Node-level fabric provisioned at cutoff 0 (every quotient edge gets a
+  /// circuit, so every cross-node pair the trace exercises is routable).
+  std::unique_ptr<core::Provisioned> provisioned;
+  std::vector<int> node_of_task;          ///< task -> SMP node
+  std::uint64_t backplane_bytes = 0;      ///< bytes the packing localized
+  std::unique_ptr<netsim::SmpFabricNetwork> net;
+};
+
+/// Build the replay substrate for `tasks` under packing `smp`. The task
+/// graph should cover every communicating pair of the trace to be replayed
+/// (e.g. built from the trace's own send events, as replay_traces does).
+SmpNetworkBundle make_smp_network(
+    const graph::CommGraph& tasks, const core::SmpConfig& smp,
+    const netsim::LinkParams& circuit = {},
+    const netsim::LinkParams& backplane = netsim::kBackplaneDefaults,
+    double block_overhead_s = 50e-9);
+
+}  // namespace hfast::analysis

@@ -43,6 +43,11 @@ struct ProvisionStats {
   int max_circuit_traversals = 0;
   double avg_switch_hops = 0.0;
   int max_switch_hops = 0;
+
+  /// Bitwise field equality (doubles included) — the SMP parity contract
+  /// compares node-level stats exactly, not approximately.
+  friend bool operator==(const ProvisionStats&, const ProvisionStats&) =
+      default;
 };
 
 struct Provisioned {

@@ -1,0 +1,49 @@
+#pragma once
+/// \file smp.hpp
+/// SMP provisioning mode (the paper's §5 deferred question, promoted to a
+/// first-class pipeline axis): how many tasks share a multi-core node, and
+/// how tasks are packed onto those nodes. The packing decides which task
+/// pairs become node-internal (their traffic rides the node backplane and
+/// never touches the interconnect) and which survive into the quotient
+/// graph the fabric is provisioned from.
+///
+/// cores_per_node = 1 is the paper's baseline single-processor-node
+/// assumption and must be behaviorally invisible: the quotient is the
+/// identity, the provisioned fabric is the task-level fabric, and replay
+/// results are bit-identical to the pre-SMP pipeline (asserted by the
+/// SmpParity suite).
+
+#include <cstdint>
+#include <string_view>
+
+namespace hfast::core {
+
+/// How tasks are assigned to SMP nodes.
+enum class SmpPacking : std::uint8_t {
+  /// Tasks [k*c, (k+1)*c) share node k — what a topology-blind scheduler
+  /// does, and the identity grouping at cores_per_node = 1.
+  kRankOrder,
+  /// Traffic-aware bandwidth localization (heavy-edge merging), guaranteed
+  /// to localize at least as many bytes as rank order (see
+  /// graph::quotient_by_affinity).
+  kAffinity,
+};
+
+struct SmpConfig {
+  /// Tasks per node; 1 = single-processor nodes (today's baseline).
+  int cores_per_node = 1;
+  SmpPacking packing = SmpPacking::kRankOrder;
+
+  /// True when the mode actually aggregates tasks.
+  bool aggregates() const noexcept { return cores_per_node > 1; }
+
+  friend bool operator==(const SmpConfig&, const SmpConfig&) = default;
+};
+
+/// "rank-order" | "affinity".
+std::string_view packing_name(SmpPacking packing) noexcept;
+
+/// Inverse of packing_name; throws hfast::Error for unknown names.
+SmpPacking parse_packing(std::string_view name);
+
+}  // namespace hfast::core

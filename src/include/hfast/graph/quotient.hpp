@@ -1,10 +1,13 @@
 #pragma once
 /// \file quotient.hpp
-/// SMP-node aggregation (the paper's §5 deliberate simplification, left as
-/// future work): group tasks onto multi-core nodes; traffic between
-/// co-resident tasks stays on the node's backplane and the interconnect
-/// sees only the quotient graph. Pairs with core::provision* to study how
-/// cores-per-node shrinks the thresholded TDC and the switch-block pool.
+/// SMP-node aggregation (the paper's §5 deliberate simplification, now a
+/// first-class provisioning mode — see core::SmpConfig): group tasks onto
+/// multi-core nodes; traffic between co-resident tasks stays on the node's
+/// backplane and the interconnect sees only the quotient graph. Pairs with
+/// core::provision* to size the node-level fabric and with
+/// netsim::SmpFabricNetwork to replay traces with backplane pricing.
+/// Quotient edges merge task-edge stats verbatim (counts, bytes, max
+/// message), so an identity mapping reproduces the input graph exactly.
 
 #include <vector>
 
@@ -28,7 +31,11 @@ QuotientResult quotient_graph(const CommGraph& g,
 QuotientResult quotient_by_blocks(const CommGraph& g, int tasks_per_node);
 
 /// Traffic-aware packing: greedily merge the heaviest remaining edge whose
-/// endpoints' groups still fit (classic heavy-edge matching, iterated).
+/// endpoints' groups still fit (classic heavy-edge matching, iterated),
+/// then bin groups first-fit-decreasing (splitting any group the
+/// fragmented capacity cannot hold whole). Guaranteed to localize at least
+/// as many bytes as quotient_by_blocks at the same tasks_per_node: when
+/// the heuristic loses to rank order it returns the rank-order packing.
 QuotientResult quotient_by_affinity(const CommGraph& g, int tasks_per_node);
 
 }  // namespace hfast::graph

@@ -33,7 +33,7 @@ namespace hfast::store {
 
 /// Bump on ANY change to the encoding (field list, order, widths) — this
 /// salts every cache key and is checked in every entry header.
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Append-only canonical byte assembler.
 class Encoder {
@@ -92,7 +92,7 @@ void encode_config(Encoder& enc, const analysis::ExperimentConfig& config);
 analysis::ExperimentConfig decode_config(Decoder& dec);
 
 /// Full result encoding: config, wall time, both workload profiles, both
-/// communication graphs, and the event trace.
+/// communication graphs, the event trace, and the SMP packing artifacts.
 void encode_result(Encoder& enc, const analysis::ExperimentResult& result);
 analysis::ExperimentResult decode_result(Decoder& dec);
 

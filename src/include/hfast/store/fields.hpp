@@ -7,7 +7,8 @@
 /// field added here is automatically serialized in both forms and a field
 /// name can never drift between them. Visitors receive (name, reference)
 /// pairs and dispatch on the reference type:
-///   std::string, int, bool, std::uint64_t, mpisim::EngineKind.
+///   std::string, int, bool, std::uint64_t, mpisim::EngineKind,
+///   core::SmpPacking.
 ///
 /// ORDER AND NAMES ARE PART OF THE ON-DISK FORMAT: reordering, renaming, or
 /// retyping a field changes every cache key and store payload — bump
@@ -32,6 +33,8 @@ void visit_config_fields(Config& config, Visitor&& visit) {
   visit("capture_trace", config.capture_trace);
   visit("engine", config.engine);
   visit("sched_seed", config.sched_seed);
+  visit("smp_cores_per_node", config.smp.cores_per_node);
+  visit("smp_packing", config.smp.packing);
 }
 
 }  // namespace hfast::store

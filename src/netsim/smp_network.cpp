@@ -1,0 +1,148 @@
+#include "hfast/netsim/smp_network.hpp"
+
+#include <utility>
+
+#include "hfast/util/assert.hpp"
+
+namespace hfast::netsim {
+
+SmpFabricNetwork::SmpFabricNetwork(const core::Fabric& fabric,
+                                   std::vector<int> node_of_task,
+                                   const LinkParams& circuit,
+                                   const LinkParams& backplane,
+                                   double block_overhead_s)
+    : fabric_(fabric), node_of_task_(std::move(node_of_task)) {
+  const int ntasks = static_cast<int>(node_of_task_.size());
+  const int nnodes = fabric.num_nodes();
+  HFAST_EXPECTS_MSG(ntasks >= 1, "smp network needs at least one task");
+
+  std::vector<int> occupancy(static_cast<std::size_t>(nnodes), 0);
+  for (int node : node_of_task_) {
+    HFAST_EXPECTS_MSG(node >= 0 && node < nnodes,
+                      "task mapped outside the fabric's nodes");
+    ++occupancy[static_cast<std::size_t>(node)];
+  }
+
+  // Vertices: [0, T) tasks, then one backplane hub per multi-occupancy
+  // node, then switch blocks. With every node single-occupancy (the
+  // cores_per_node = 1 case) no hubs exist, vertex ids coincide with
+  // FabricNetwork's node-then-block layout, and the link table built below
+  // is identical to FabricNetwork's — the structural half of the parity
+  // contract.
+  for (int t = 0; t < ntasks; ++t) (void)add_vertex();
+  hub_of_node_.assign(static_cast<std::size_t>(nnodes), -1);
+  task_of_node_.assign(static_cast<std::size_t>(nnodes), -1);
+  for (int t = 0; t < ntasks; ++t) {
+    const int node = node_of_task_[static_cast<std::size_t>(t)];
+    if (occupancy[static_cast<std::size_t>(node)] == 1) {
+      task_of_node_[static_cast<std::size_t>(node)] = t;
+    }
+  }
+  for (int n = 0; n < nnodes; ++n) {
+    if (occupancy[static_cast<std::size_t>(n)] > 1) {
+      hub_of_node_[static_cast<std::size_t>(n)] = add_vertex();
+    } else {
+      HFAST_EXPECTS_MSG(occupancy[static_cast<std::size_t>(n)] == 1,
+                        "fabric node hosts no task");
+    }
+  }
+  first_block_vertex_ = num_vertices_;
+  for (int b = 0; b < fabric.num_blocks(); ++b) (void)add_vertex();
+
+  // Backplane tier: each co-resident task attaches to its node's hub.
+  for (int t = 0; t < ntasks; ++t) {
+    const int hub = hub_of_node_[static_cast<std::size_t>(
+        node_of_task_[static_cast<std::size_t>(t)])];
+    if (hub != -1) (void)add_duplex_link(t, hub, backplane);
+  }
+
+  // Fabric tier, mirroring FabricNetwork link for link with the node
+  // endpoint replaced by node_vertex(): entering any block pays the
+  // packet-switching overhead; circuit hops add propagation only.
+  LinkParams into_block = circuit;
+  into_block.switch_overhead_s = block_overhead_s;
+  for (int b = 0; b < fabric.num_blocks(); ++b) {
+    const auto& blk = fabric.block(b);
+    for (int p = 0; p < blk.num_ports(); ++p) {
+      const auto& port = blk.port(p);
+      if (port.use == core::PortUse::kHost) {
+        const int nv = node_vertex(port.host_node);
+        (void)add_directed_link(nv, block_vertex(b), into_block);
+        (void)add_directed_link(block_vertex(b), nv, circuit);
+      } else if (port.use == core::PortUse::kTrunk && port.peer.block > b) {
+        const int a = block_vertex(b);
+        const int c = block_vertex(port.peer.block);
+        (void)add_directed_link(a, c, into_block);
+        (void)add_directed_link(c, a, into_block);
+      }
+    }
+  }
+}
+
+int SmpFabricNetwork::node_vertex(int node) const {
+  const int hub = hub_of_node_[static_cast<std::size_t>(node)];
+  return hub != -1 ? hub : task_of_node_[static_cast<std::size_t>(node)];
+}
+
+int SmpFabricNetwork::block_vertex(int block_id) const {
+  return first_block_vertex_ + block_id;
+}
+
+const SmpFabricNetwork::RouteEntry& SmpFabricNetwork::route_entry(int src,
+                                                                  int dst) {
+  const auto key = std::pair{src, dst};
+  auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second;
+
+  const int a = node_of_task(src);
+  const int b = node_of_task(dst);
+  RouteEntry entry;
+  if (a == b) {
+    // Co-resident tasks: src -> hub -> dst on the backplane, zero switch
+    // hops. Two distinct tasks sharing a node implies a hub exists.
+    const int hub = hub_of_node_[static_cast<std::size_t>(a)];
+    entry.links = {link_between(src, hub), link_between(hub, dst)};
+    entry.hops = 0;
+  } else {
+    const core::FabricRoute r = fabric_.route(a, b);
+    entry.hops = r.switch_hops();
+    entry.links.reserve(r.blocks.size() + 3);
+    if (hub_of_node_[static_cast<std::size_t>(a)] != -1) {
+      entry.links.push_back(
+          link_between(src, hub_of_node_[static_cast<std::size_t>(a)]));
+    }
+    int prev = node_vertex(a);
+    for (int blk : r.blocks) {
+      entry.links.push_back(link_between(prev, block_vertex(blk)));
+      prev = block_vertex(blk);
+    }
+    entry.links.push_back(link_between(prev, node_vertex(b)));
+    if (hub_of_node_[static_cast<std::size_t>(b)] != -1) {
+      entry.links.push_back(
+          link_between(hub_of_node_[static_cast<std::size_t>(b)], dst));
+    }
+  }
+  return route_cache_.emplace(key, std::move(entry)).first->second;
+}
+
+void SmpFabricNetwork::prewarm_route(int src, int dst) {
+  (void)route_entry(src, dst);
+}
+
+double SmpFabricNetwork::transfer(int src, int dst, std::uint64_t bytes,
+                                  double start) {
+  HFAST_EXPECTS(src != dst);
+  return traverse(route_entry(src, dst).links, bytes, start);
+}
+
+int SmpFabricNetwork::switch_hops(int src, int dst) const {
+  const auto it = route_cache_.find({src, dst});
+  if (it != route_cache_.end()) return it->second.hops;
+  // Not prewarmed: recompute instead of memoizing so the const query path
+  // stays read-only under concurrent readers (as in FabricNetwork).
+  const int a = node_of_task(src);
+  const int b = node_of_task(dst);
+  return a == b ? 0 : fabric_.route(a, b).switch_hops();
+}
+
+}  // namespace hfast::netsim

@@ -112,6 +112,9 @@ struct EncodeField {
   void operator()(const char*, const mpisim::EngineKind& v) {
     enc.u8(static_cast<std::uint8_t>(v));
   }
+  void operator()(const char*, const core::SmpPacking& v) {
+    enc.u8(static_cast<std::uint8_t>(v));
+  }
 };
 
 struct DecodeField {
@@ -128,6 +131,13 @@ struct DecodeField {
       throw Error("store codec: unknown engine kind " + std::to_string(raw));
     }
     v = static_cast<mpisim::EngineKind>(raw);
+  }
+  void operator()(const char*, core::SmpPacking& v) {
+    const std::uint8_t raw = dec.u8();
+    if (raw > static_cast<std::uint8_t>(core::SmpPacking::kAffinity)) {
+      throw Error("store codec: unknown SMP packing " + std::to_string(raw));
+    }
+    v = static_cast<core::SmpPacking>(raw);
   }
 };
 
@@ -293,6 +303,65 @@ trace::Trace decode_trace(Decoder& dec) {
   return trace::Trace(nranks, std::move(events), std::move(regions));
 }
 
+void encode_provision_stats(Encoder& enc, const core::ProvisionStats& s) {
+  enc.i32(s.num_blocks);
+  enc.i32(s.num_trunks);
+  enc.i32(s.edges_provisioned);
+  enc.i32(s.internal_edges);
+  enc.f64(s.avg_circuit_traversals);
+  enc.i32(s.max_circuit_traversals);
+  enc.f64(s.avg_switch_hops);
+  enc.i32(s.max_switch_hops);
+}
+
+core::ProvisionStats decode_provision_stats(Decoder& dec) {
+  core::ProvisionStats s;
+  s.num_blocks = dec.i32();
+  s.num_trunks = dec.i32();
+  s.edges_provisioned = dec.i32();
+  s.internal_edges = dec.i32();
+  s.avg_circuit_traversals = dec.f64();
+  s.max_circuit_traversals = dec.i32();
+  s.avg_switch_hops = dec.f64();
+  s.max_switch_hops = dec.i32();
+  return s;
+}
+
+void encode_smp(Encoder& enc, const analysis::SmpArtifacts& smp) {
+  enc.i32(smp.num_nodes);
+  enc.u64(smp.backplane_bytes);
+  enc.i32(smp.node_tdc_max);
+  enc.f64(smp.node_tdc_avg);
+  enc.i32(smp.block_size);
+  enc.u32(static_cast<std::uint32_t>(smp.node_of_task.size()));
+  for (int node : smp.node_of_task) enc.i32(node);
+  encode_graph(enc, smp.node_graph);
+  encode_provision_stats(enc, smp.provision);
+}
+
+analysis::SmpArtifacts decode_smp(Decoder& dec) {
+  analysis::SmpArtifacts smp;
+  smp.num_nodes = dec.i32();
+  if (smp.num_nodes < 0) throw Error("store codec: negative SMP node count");
+  smp.backplane_bytes = dec.u64();
+  smp.node_tdc_max = dec.i32();
+  smp.node_tdc_avg = dec.f64();
+  smp.block_size = dec.i32();
+  const std::uint32_t ntasks = dec.u32();
+  dec.expect_backing(ntasks, 4);
+  smp.node_of_task.reserve(ntasks);
+  for (std::uint32_t i = 0; i < ntasks; ++i) {
+    const int node = dec.i32();
+    if (node < 0 || node >= smp.num_nodes) {
+      throw Error("store codec: SMP task mapped outside its node range");
+    }
+    smp.node_of_task.push_back(node);
+  }
+  smp.node_graph = decode_graph(dec);
+  smp.provision = decode_provision_stats(dec);
+  return smp;
+}
+
 }  // namespace
 
 void encode_config(Encoder& enc, const analysis::ExperimentConfig& config) {
@@ -315,6 +384,7 @@ void encode_result(Encoder& enc, const analysis::ExperimentResult& result) {
   encode_graph(enc, result.comm_graph);
   encode_graph(enc, result.comm_graph_all);
   encode_trace(enc, result.trace);
+  encode_smp(enc, result.smp);
 }
 
 analysis::ExperimentResult decode_result(Decoder& dec) {
@@ -326,6 +396,7 @@ analysis::ExperimentResult decode_result(Decoder& dec) {
   result.comm_graph = decode_graph(dec);
   result.comm_graph_all = decode_graph(dec);
   result.trace = decode_trace(dec);
+  result.smp = decode_smp(dec);
   if (!dec.done()) {
     throw Error("store codec: trailing bytes after result payload");
   }

@@ -1,0 +1,181 @@
+/// SmpFabricNetwork unit tests: the backplane tier's cost model, the
+/// single-occupancy degeneration that makes cores_per_node = 1 structurally
+/// identical to FabricNetwork, and contention on the shared hub links.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hfast/core/provision.hpp"
+#include "hfast/graph/comm_graph.hpp"
+#include "hfast/netsim/network.hpp"
+#include "hfast/netsim/smp_network.hpp"
+
+namespace hfast {
+namespace {
+
+/// Ring task graph: every task talks to both neighbors.
+graph::CommGraph ring_graph(int n, std::uint64_t bytes = 4096) {
+  graph::CommGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_message(i, (i + 1) % n, bytes);
+  return g;
+}
+
+std::vector<int> identity_map(int n) {
+  std::vector<int> m(static_cast<std::size_t>(n));
+  std::iota(m.begin(), m.end(), 0);
+  return m;
+}
+
+/// A 2-node fabric (one circuit between them) hosting `node_of_task`.
+struct TwoNodeRig {
+  core::Provisioned prov;
+  netsim::SmpFabricNetwork net;
+
+  explicit TwoNodeRig(std::vector<int> node_of_task,
+                      const netsim::LinkParams& backplane =
+                          netsim::kBackplaneDefaults)
+      : prov(core::provision_greedy(ring_graph(2), {.cutoff = 0})),
+        net(prov.fabric, std::move(node_of_task), netsim::LinkParams{},
+            backplane, 50e-9) {}
+};
+
+/// At one task per node the SMP network must behave exactly like
+/// FabricNetwork over the same fabric: same hop counts and bit-identical
+/// transfer times for an identical call sequence (this is the structural
+/// half of the SmpParity contract).
+TEST(NetsimSmp, SingleOccupancyIsFabricNetwork) {
+  constexpr int kTasks = 8;
+  const auto g = ring_graph(kTasks);
+  const auto prov = core::provision_greedy(g, {.cutoff = 0});
+  const netsim::LinkParams link;
+
+  netsim::FabricNetwork fab(prov.fabric, link, 50e-9);
+  netsim::SmpFabricNetwork smp(prov.fabric, identity_map(kTasks), link,
+                               netsim::kBackplaneDefaults, 50e-9);
+
+  EXPECT_EQ(smp.num_endpoints(), fab.num_endpoints());
+  EXPECT_EQ(smp.num_nodes(), kTasks);
+  for (int n = 0; n < kTasks; ++n) EXPECT_FALSE(smp.node_has_backplane(n));
+  EXPECT_DOUBLE_EQ(smp.min_transfer_latency_s(), fab.min_transfer_latency_s());
+
+  for (int i = 0; i < kTasks; ++i) {
+    for (int j = 0; j < kTasks; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(smp.switch_hops(i, j), fab.switch_hops(i, j)) << i << "->" << j;
+    }
+  }
+
+  // Identical transfer sequence, including repeats that hit warm occupancy.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kTasks; ++i) {
+      const int j = (i + 1 + round) % kTasks;
+      if (i == j) continue;
+      const std::uint64_t bytes = 512u * static_cast<std::uint64_t>(i + 1);
+      const double start = 1e-6 * round;
+      EXPECT_EQ(fab.transfer(i, j, bytes, start),
+                smp.transfer(i, j, bytes, start))
+          << "round " << round << ": " << i << "->" << j;
+    }
+  }
+}
+
+/// Co-resident tasks exchange over exactly two backplane links and zero
+/// packet switches; the arrival time is the cut-through cost of those two
+/// links and nothing else.
+TEST(NetsimSmp, CoResidentTransferRidesTheBackplaneOnly) {
+  TwoNodeRig rig({0, 0, 1, 1});
+  EXPECT_EQ(rig.net.num_endpoints(), 4);
+  EXPECT_EQ(rig.net.num_nodes(), 2);
+  EXPECT_TRUE(rig.net.shares_node(0, 1));
+  EXPECT_FALSE(rig.net.shares_node(1, 2));
+  EXPECT_TRUE(rig.net.node_has_backplane(0));
+  EXPECT_TRUE(rig.net.node_has_backplane(1));
+
+  EXPECT_EQ(rig.net.switch_hops(0, 1), 0);
+  EXPECT_EQ(rig.net.switch_hops(2, 3), 0);
+  EXPECT_GT(rig.net.switch_hops(0, 2), 0);
+
+  constexpr std::uint64_t kBytes = 1024;
+  const auto& bp = netsim::kBackplaneDefaults;
+  const double ser = static_cast<double>(kBytes) / bp.bandwidth_bps;
+  const double per_link = bp.latency_s + bp.switch_overhead_s;
+  const double arrival = rig.net.transfer(0, 1, kBytes, 0.0);
+  EXPECT_DOUBLE_EQ(arrival, per_link + per_link + ser);
+}
+
+/// A cross-node transfer pays source backplane + fabric route + destination
+/// backplane. With the backplane parameterized identically to the circuit
+/// tier the surcharge is exactly two extra link traversals (the transfer is
+/// cut-through, so only head latency accumulates per link; the tail trails
+/// by the final link's serialization, which is the same either way here).
+TEST(NetsimSmp, CrossNodeTransferPaysBothBackplanes) {
+  const netsim::LinkParams uniform{};  // backplane == circuit tier
+  TwoNodeRig rig({0, 0, 1, 1}, uniform);
+  netsim::FabricNetwork node_fab(rig.prov.fabric, uniform, 50e-9);
+
+  constexpr std::uint64_t kBytes = 2048;
+  const double fabric_only = node_fab.transfer(0, 1, kBytes, 0.0);
+  const double task_level = rig.net.transfer(0, 2, kBytes, 0.0);
+  const double per_link = uniform.latency_s + uniform.switch_overhead_s;
+  EXPECT_DOUBLE_EQ(task_level, fabric_only + 2.0 * per_link);
+
+  // Hop count is the node-level fabric's, not inflated by the backplane.
+  EXPECT_EQ(rig.net.switch_hops(0, 2), node_fab.switch_hops(0, 1));
+}
+
+/// A node whose quotient group holds one task keeps the paper's baseline
+/// picture: the core owns the NIC, no hub, and (at uniform link parameters)
+/// exactly one link traversal less on the path than a hubbed destination.
+TEST(NetsimSmp, LoneTaskNodeHasNoBackplane) {
+  const netsim::LinkParams uniform{};
+  TwoNodeRig multi({0, 0, 1, 1}, uniform);
+  TwoNodeRig lone({0, 0, 1}, uniform);
+
+  EXPECT_TRUE(lone.net.node_has_backplane(0));
+  EXPECT_FALSE(lone.net.node_has_backplane(1));
+
+  constexpr std::uint64_t kBytes = 2048;
+  const double to_lone = lone.net.transfer(0, 2, kBytes, 0.0);
+  const double to_multi = multi.net.transfer(0, 2, kBytes, 0.0);
+  const double per_link = uniform.latency_s + uniform.switch_overhead_s;
+  EXPECT_DOUBLE_EQ(to_multi, to_lone + per_link);
+}
+
+/// Two co-resident senders to the same remote node contend on the shared
+/// hub->fabric path: the second injection at t=0 arrives strictly later.
+TEST(NetsimSmp, CoResidentSendersContendOnTheHub) {
+  TwoNodeRig rig({0, 0, 1, 1});
+  constexpr std::uint64_t kBytes = 1u << 20;  // big enough to serialize
+  const double first = rig.net.transfer(0, 2, kBytes, 0.0);
+  const double second = rig.net.transfer(1, 3, kBytes, 0.0);
+  EXPECT_GT(second, first);
+
+  // After reset() the same sequence replays bit-identically.
+  rig.net.reset();
+  EXPECT_EQ(rig.net.transfer(0, 2, kBytes, 0.0), first);
+  EXPECT_EQ(rig.net.transfer(1, 3, kBytes, 0.0), second);
+}
+
+/// Constructor contract: the task map must be total and in range.
+TEST(NetsimSmp, RejectsMalformedTaskMaps) {
+  const auto prov = core::provision_greedy(ring_graph(2), {.cutoff = 0});
+  const netsim::LinkParams link;
+  EXPECT_THROW(netsim::SmpFabricNetwork(prov.fabric, {0, 0, 2, 1}, link,
+                                        netsim::kBackplaneDefaults, 50e-9),
+               ContractViolation);
+  EXPECT_THROW(netsim::SmpFabricNetwork(prov.fabric, {0, -1, 1, 1}, link,
+                                        netsim::kBackplaneDefaults, 50e-9),
+               ContractViolation);
+  EXPECT_THROW(netsim::SmpFabricNetwork(prov.fabric, {}, link,
+                                        netsim::kBackplaneDefaults, 50e-9),
+               ContractViolation);
+  // A node with no resident task cannot stand in a route.
+  EXPECT_THROW(netsim::SmpFabricNetwork(prov.fabric, {0, 0, 0, 0}, link,
+                                        netsim::kBackplaneDefaults, 50e-9),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hfast

@@ -1,0 +1,117 @@
+/// SmpProperties — invariants of the SMP packing mode that must hold for
+/// every application, concurrency, and aggregation level, not just the
+/// cells the paper tables print. One simulation per (app, P) feeds a grid
+/// of build_smp_artifacts derivations (the packing is post-simulation, so
+/// re-deriving from one comm graph is free).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/graph/tdc.hpp"
+#include "hfast/mpisim/engine.hpp"
+
+namespace hfast {
+namespace {
+
+constexpr const char* kApps[] = {"cactus",  "gtc",   "lbmhd",
+                                 "superlu", "pmemd", "paratec"};
+constexpr int kConcurrencies[] = {64, 256};
+constexpr int kCores[] = {2, 4, 8};
+
+analysis::ExperimentResult simulate(const char* app, int nranks) {
+  analysis::ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.nranks = nranks;
+  cfg.capture_trace = false;  // only the comm graph feeds the derivations
+  cfg.engine = mpisim::fibers_supported() ? mpisim::EngineKind::kFibers
+                                          : mpisim::EngineKind::kThreads;
+  return analysis::run_experiment(cfg);
+}
+
+void expect_artifacts_eq(const analysis::SmpArtifacts& a,
+                         const analysis::SmpArtifacts& b) {
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.backplane_bytes, b.backplane_bytes);
+  EXPECT_EQ(a.node_tdc_max, b.node_tdc_max);
+  EXPECT_EQ(a.node_tdc_avg, b.node_tdc_avg);
+  EXPECT_EQ(a.block_size, b.block_size);
+  EXPECT_EQ(a.node_of_task, b.node_of_task);
+  EXPECT_EQ(a.node_graph.edges(), b.node_graph.edges());
+  EXPECT_TRUE(a.provision == b.provision);
+}
+
+TEST(SmpProperties, PackingInvariantsAcrossAppsAndAggregations) {
+  for (const char* app : kApps) {
+    for (int nranks : kConcurrencies) {
+      SCOPED_TRACE(std::string(app) + " P=" + std::to_string(nranks));
+      const auto r = simulate(app, nranks);
+      const std::uint64_t total = r.comm_graph.total_bytes();
+      // Raw (cutoff-0) task degree bounds the node degree: a node of c
+      // tasks can talk to at most c * max_task_degree distinct tasks, and
+      // quotienting only merges endpoints.
+      const int task_degree_max = graph::tdc(r.comm_graph, 0).max;
+
+      for (int cores : kCores) {
+        std::uint64_t rank_order_backplane = 0;
+        for (const core::SmpPacking packing :
+             {core::SmpPacking::kRankOrder, core::SmpPacking::kAffinity}) {
+          SCOPED_TRACE(std::string(core::packing_name(packing)) + " cores=" +
+                       std::to_string(cores));
+          const auto smp =
+              analysis::build_smp_artifacts(r.comm_graph, {cores, packing});
+
+          // Conservation: every byte is either node-internal (backplane)
+          // or survives into the interconnect-visible quotient graph.
+          EXPECT_EQ(smp.node_graph.total_bytes() + smp.backplane_bytes, total);
+
+          // Node count is exactly ceil(P / cores) — the packing never
+          // leaves a node empty or over-allocates machines.
+          EXPECT_EQ(smp.num_nodes, (nranks + cores - 1) / cores);
+          EXPECT_EQ(smp.node_graph.num_nodes(), smp.num_nodes);
+
+          // The task->node map is total, in range, and respects capacity.
+          ASSERT_EQ(smp.node_of_task.size(),
+                    static_cast<std::size_t>(nranks));
+          std::vector<int> occupancy(
+              static_cast<std::size_t>(smp.num_nodes), 0);
+          for (int node : smp.node_of_task) {
+            ASSERT_GE(node, 0);
+            ASSERT_LT(node, smp.num_nodes);
+            ++occupancy[static_cast<std::size_t>(node)];
+          }
+          for (int occ : occupancy) {
+            EXPECT_GE(occ, 1);
+            EXPECT_LE(occ, cores);
+          }
+
+          // Aggregation cannot manufacture connectivity beyond the union
+          // of the members' task-level neighborhoods.
+          EXPECT_LE(smp.node_tdc_max, cores * task_degree_max);
+
+          // Blocks follow the paper's §5.3 sizing rule at node level.
+          EXPECT_EQ(smp.block_size, smp.node_tdc_max < 8 ? 8 : 16);
+
+          // Deriving twice from the same graph is bit-identical — the
+          // packing and provisioning pipeline is deterministic.
+          expect_artifacts_eq(
+              smp, analysis::build_smp_artifacts(r.comm_graph,
+                                                 {cores, packing}));
+
+          // Affinity packing never localizes fewer bytes than rank order
+          // (graph::quotient_by_affinity's documented guarantee).
+          if (packing == core::SmpPacking::kRankOrder) {
+            rank_order_backplane = smp.backplane_bytes;
+          } else {
+            EXPECT_GE(smp.backplane_bytes, rank_order_backplane);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hfast

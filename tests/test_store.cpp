@@ -73,6 +73,18 @@ void expect_graph_eq(const graph::CommGraph& a, const graph::CommGraph& b,
   EXPECT_EQ(a.edges(), b.edges()) << what;  // EdgeStats operator==
 }
 
+void expect_smp_eq(const analysis::SmpArtifacts& a,
+                   const analysis::SmpArtifacts& b) {
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.backplane_bytes, b.backplane_bytes);
+  EXPECT_EQ(a.node_tdc_max, b.node_tdc_max);
+  EXPECT_EQ(a.node_tdc_avg, b.node_tdc_avg);  // f64 codec is bit-exact
+  EXPECT_EQ(a.block_size, b.block_size);
+  EXPECT_EQ(a.node_of_task, b.node_of_task);
+  expect_graph_eq(a.node_graph, b.node_graph, "smp.node_graph");
+  EXPECT_TRUE(a.provision == b.provision);  // ProvisionStats operator==
+}
+
 /// Field-for-field equality. `timings=false` drops the wall-clock fields
 /// (wall_seconds, per-call times) — the right comparison between a cached
 /// result and an independent recomputation, whose measured times differ
@@ -87,6 +99,7 @@ void expect_result_eq(const analysis::ExperimentResult& a,
   EXPECT_EQ(a.config.capture_trace, b.config.capture_trace);
   EXPECT_EQ(a.config.engine, b.config.engine);
   EXPECT_EQ(a.config.sched_seed, b.config.sched_seed);
+  EXPECT_TRUE(a.config.smp == b.config.smp);  // SmpConfig operator==
   if (timings) {
     EXPECT_EQ(a.wall_seconds, b.wall_seconds);
   }
@@ -97,6 +110,7 @@ void expect_result_eq(const analysis::ExperimentResult& a,
   EXPECT_EQ(a.trace.nranks(), b.trace.nranks());
   EXPECT_EQ(a.trace.region_names(), b.trace.region_names());
   EXPECT_EQ(a.trace.events(), b.trace.events());  // CommEvent operator==
+  expect_smp_eq(a.smp, b.smp);
 }
 
 analysis::ExperimentResult roundtrip(const analysis::ExperimentResult& r) {
@@ -117,7 +131,8 @@ TEST(StoreKey, GoldenKeyIsStableAcrossSessions) {
   // the canonical encoding (field list, order, widths, or the hash) —
   // which is fine, but you MUST bump store::kFormatVersion so old cache
   // entries invalidate instead of colliding, then re-pin this constant.
-  EXPECT_EQ(config_key(base_config()), UINT64_C(0xd742f5adbe857d65));
+  // (Format v2 appended the SMP fields and artifacts.)
+  EXPECT_EQ(config_key(base_config()), UINT64_C(0x5db6c1a505eb50a9));
 }
 
 TEST(StoreKey, EveryConfigFieldPerturbsTheKey) {
@@ -134,6 +149,10 @@ TEST(StoreKey, EveryConfigFieldPerturbsTheKey) {
           {"engine",
            [](Config& c) { c.engine = mpisim::EngineKind::kFibers; }},
           {"sched_seed", [](Config& c) { c.sched_seed = 99; }},
+          {"smp_cores_per_node",
+           [](Config& c) { c.smp.cores_per_node = 4; }},
+          {"smp_packing",
+           [](Config& c) { c.smp.packing = core::SmpPacking::kAffinity; }},
       };
   for (const auto& [name, perturb] : perturbations) {
     Config c = base_config();
@@ -190,6 +209,38 @@ TEST(StoreCodec, ResultRoundTripsForAllSixAppsAtP64) {
     SCOPED_TRACE(app);
     expect_result_eq(r, roundtrip(r));
   }
+}
+
+TEST(StoreCodec, SmpResultRoundTrips) {
+  // A result carrying a nontrivial SMP packing (multi-occupancy nodes,
+  // nonzero backplane bytes, a real node graph) must survive the codec
+  // bit-for-bit — including the node_of_task map and ProvisionStats.
+  for (const core::SmpPacking packing :
+       {core::SmpPacking::kRankOrder, core::SmpPacking::kAffinity}) {
+    auto cfg = base_config();
+    cfg.nranks = 16;
+    cfg.engine = test_engine();
+    cfg.smp = {4, packing};
+    const auto r = analysis::run_experiment(cfg);
+    SCOPED_TRACE(core::packing_name(packing));
+    EXPECT_EQ(r.smp.num_nodes, 4);
+    EXPECT_GT(r.smp.backplane_bytes, 0u);
+    expect_result_eq(r, roundtrip(r));
+  }
+}
+
+TEST(StoreCodec, SmpTaskMapOutOfRangeRejected) {
+  auto cfg = base_config();
+  cfg.nranks = 8;
+  cfg.capture_trace = false;
+  cfg.engine = test_engine();
+  cfg.smp = {2, core::SmpPacking::kRankOrder};
+  auto r = analysis::run_experiment(cfg);
+  r.smp.node_of_task.back() = r.smp.num_nodes;  // one past the node range
+  Encoder enc;
+  encode_result(enc, r);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)decode_result(dec), Error);
 }
 
 TEST(StoreCodec, TracelessResultRoundTrips) {

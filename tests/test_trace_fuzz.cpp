@@ -1,0 +1,265 @@
+/// TraceFuzz — randomized robustness of Trace::load_text. Trace files are
+/// data (hand-edited, copied between machines, truncated by crashes), so
+/// the loader's contract is: any malformed input throws hfast::Error naming
+/// the 1-based line the problem is on — never undefined behavior, never an
+/// unchecked allocation, never a silent crash. The suite mutates a real
+/// captured trace under a seeded generator:
+///   * whole-line truncations (a crashed writer) — "truncated region table"
+///     / "truncated event stream" at the first missing line;
+///   * known-invalid field substitutions in event lines — range errors at
+///     exactly that event's line;
+///   * structural duplications (header, region line) and header corruption;
+///   * unconstrained byte-level corruption, where the only requirement is
+///     "parses or throws Error" (the never-UB half, exercised under TSan
+///     and ASan in CI).
+///
+/// Mutations are deliberately whole-line or whole-field: istream's numeric
+/// parsing accepts any valid numeric prefix, so chopping trailing
+/// characters off the final event line parses cleanly by design — that is
+/// the text format's documented looseness, not a loader defect.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hfast/analysis/experiment.hpp"
+#include "hfast/mpisim/engine.hpp"
+#include "hfast/mpisim/types.hpp"
+#include "hfast/trace/trace.hpp"
+#include "hfast/util/assert.hpp"
+
+namespace hfast {
+namespace {
+
+struct TraceLines {
+  std::vector<std::string> lines;  // [0] = header, then regions, then events
+  std::size_t nregions = 0;
+  std::size_t nevents = 0;
+  int nranks = 0;
+
+  std::string joined() const {
+    std::string out;
+    for (const std::string& l : lines) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  }
+  // 0-based index into `lines` of event j; +1 gives the 1-based file line.
+  std::size_t event_index(std::size_t j) const { return 1 + nregions + j; }
+};
+
+TraceLines capture_base_trace() {
+  analysis::ExperimentConfig cfg;
+  cfg.app = "cactus";
+  cfg.nranks = 8;
+  cfg.engine = mpisim::fibers_supported() ? mpisim::EngineKind::kFibers
+                                          : mpisim::EngineKind::kThreads;
+  const auto r = analysis::run_experiment(cfg);
+  std::ostringstream os;
+  r.trace.save_text(os);
+
+  TraceLines t;
+  t.nranks = r.trace.nranks();
+  t.nregions = r.trace.region_names().size();
+  t.nevents = r.trace.events().size();
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) t.lines.push_back(line);
+  EXPECT_EQ(t.lines.size(), 1 + t.nregions + t.nevents);
+  return t;
+}
+
+/// Parse `text`; expect an Error whose message names `expected_line`.
+void expect_error_at(const std::string& text, std::size_t expected_line,
+                     const std::string& what) {
+  std::istringstream is(text);
+  try {
+    trace::Trace::load_text(is);
+    FAIL() << "load_text accepted malformed input (" << what << ")";
+  } catch (const Error& e) {
+    const std::string needle = "line " + std::to_string(expected_line) + ":";
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << what << ": expected error at " << needle << ", got: " << e.what();
+  }
+}
+
+/// Replace 0-based field `field` of a space-separated line.
+std::string with_field(const std::string& line, std::size_t field,
+                       const std::string& value) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  tokens.at(field) = value;
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+TEST(TraceFuzz, BaseTraceRoundTrips) {
+  const TraceLines t = capture_base_trace();
+  ASSERT_GT(t.nevents, 0u);
+  ASSERT_GT(t.nregions, 0u);
+  std::istringstream is(t.joined());
+  const auto loaded = trace::Trace::load_text(is);
+  EXPECT_EQ(loaded.nranks(), t.nranks);
+  EXPECT_EQ(loaded.events().size(), t.nevents);
+}
+
+TEST(TraceFuzz, RandomTruncationsReportTheMissingLine) {
+  const TraceLines t = capture_base_trace();
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<std::size_t> keep_dist(1, t.lines.size() - 1);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t keep = keep_dist(rng);
+    std::string text;
+    for (std::size_t i = 0; i < keep; ++i) text += t.lines[i] + "\n";
+    // Line keep+1 (1-based) is the first one missing; the loader must name
+    // it and say which table ran dry.
+    const std::string what = "kept " + std::to_string(keep) + " lines";
+    std::istringstream is(text);
+    try {
+      trace::Trace::load_text(is);
+      FAIL() << "truncation accepted: " << what;
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("line " + std::to_string(keep + 1) + ":"),
+                std::string::npos)
+          << what << ": " << msg;
+      const bool in_regions = keep < 1 + t.nregions;
+      EXPECT_NE(msg.find(in_regions ? "truncated region table"
+                                    : "truncated event stream"),
+                std::string::npos)
+          << what << ": " << msg;
+    }
+  }
+}
+
+TEST(TraceFuzz, RandomInvalidFieldsReportTheEventLine) {
+  const TraceLines t = capture_base_trace();
+  std::mt19937 rng(987654321);
+  std::uniform_int_distribution<std::size_t> event_dist(0, t.nevents - 1);
+  // (field index in the event line, invalid value). Peer mutations apply
+  // only to point-to-point events — collective peers are unchecked.
+  const std::vector<std::pair<std::size_t, std::string>> kMutations = {
+      {0, std::to_string(t.nranks)},                  // rank too large
+      {0, "-1"},                                      // rank negative
+      {1, "-7"},                                      // negative op index
+      {2, "9"},                                       // bad event kind
+      {3, std::to_string(mpisim::kNumCallTypes)},     // bad call type
+      {4, std::to_string(t.nranks)},                  // peer too large
+      {4, "-2"},                                      // peer negative
+      {5, "-1"},                                      // negative byte count
+      {6, std::to_string(t.nregions)},                // region out of range
+  };
+  std::uniform_int_distribution<std::size_t> mut_dist(0, kMutations.size() - 1);
+
+  int applied = 0;
+  while (applied < 96) {
+    const std::size_t j = event_dist(rng);
+    const auto& [field, value] = kMutations[mut_dist(rng)];
+    const std::size_t idx = t.event_index(j);
+    if (field == 4) {
+      // Skip collective events: their peer field is ignored by design.
+      std::istringstream ls(t.lines[idx]);
+      long long rank = 0, op = 0;
+      int kind = 0;
+      ls >> rank >> op >> kind;
+      if (kind == static_cast<int>(trace::EventKind::kCollective)) continue;
+    }
+    ++applied;
+    TraceLines mutated = t;
+    mutated.lines[idx] = with_field(mutated.lines[idx], field, value);
+    expect_error_at(mutated.joined(), idx + 1,
+                    "event " + std::to_string(j) + " field " +
+                        std::to_string(field) + " := " + value);
+  }
+}
+
+TEST(TraceFuzz, StructuralDuplicationsAndHeaderCorruption) {
+  const TraceLines t = capture_base_trace();
+
+  // Duplicated header: the copy lands where the first region line belongs.
+  {
+    TraceLines m = t;
+    m.lines.insert(m.lines.begin() + 1, m.lines[0]);
+    expect_error_at(m.joined(), 2, "duplicated header");
+  }
+  // Duplicated region line: the table shifts down one, so the last real
+  // region line is read as the first event and fails numeric parsing.
+  {
+    TraceLines m = t;
+    m.lines.insert(m.lines.begin() + 1, m.lines[1]);
+    expect_error_at(m.joined(), 1 + t.nregions + 1, "duplicated region line");
+  }
+  // Deleted event line: the stream runs dry one line early.
+  {
+    TraceLines m = t;
+    m.lines.erase(m.lines.end() - 1);
+    expect_error_at(m.joined(), m.lines.size() + 1, "deleted event line");
+  }
+  // nranks=0: every event's rank is out of [0, 0).
+  {
+    TraceLines m = t;
+    m.lines[0] = with_field(m.lines[0], 2, "nranks=0");
+    expect_error_at(m.joined(), 1 + t.nregions + 1, "nranks=0 header");
+  }
+  // Negative nranks is rejected before any allocation.
+  {
+    TraceLines m = t;
+    m.lines[0] = with_field(m.lines[0], 2, "nranks=-5");
+    expect_error_at(m.joined(), 1, "negative nranks");
+  }
+  // Overflowing header value fails as unparseable, not as UB.
+  {
+    TraceLines m = t;
+    m.lines[0] = with_field(m.lines[0], 2, "nranks=99999999999999999999");
+    expect_error_at(m.joined(), 1, "overflowing nranks");
+  }
+  // Wrong magic / version.
+  {
+    TraceLines m = t;
+    m.lines[0] = with_field(m.lines[0], 1, "v2");
+    expect_error_at(m.joined(), 1, "bad version");
+  }
+}
+
+/// The never-UB half: arbitrary byte corruption must either parse or throw
+/// Error. No assertion about which — only that the loader stays inside its
+/// contract (exercised under ASan/TSan in CI).
+TEST(TraceFuzz, ArbitraryCorruptionNeverEscapesErrorContract) {
+  const TraceLines t = capture_base_trace();
+  const std::string base = t.joined();
+  std::mt19937 rng(0xf002);
+  std::uniform_int_distribution<std::size_t> pos_dist(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<int> count_dist(1, 8);
+  for (int trial = 0; trial < 128; ++trial) {
+    std::string text = base;
+    const int edits = count_dist(rng);
+    for (int k = 0; k < edits; ++k) {
+      text[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    }
+    std::istringstream is(text);
+    try {
+      const auto loaded = trace::Trace::load_text(is);
+      // Accepted input must still satisfy the Trace invariants enough to
+      // walk: iterate everything the loader produced.
+      std::uint64_t sum = 0;
+      for (const auto& e : loaded.events()) sum += e.bytes;
+      (void)sum;
+    } catch (const Error&) {
+      // In-contract rejection.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hfast
